@@ -1,0 +1,139 @@
+use crate::{Controller, Product, Vocab, WorldModel};
+use std::fmt::Write as _;
+
+/// Graphviz DOT rendering for automata, for inspection and documentation.
+///
+/// The rendered figures correspond to the paper's automaton diagrams
+/// (Figures 1, 5–7, 15–18).
+pub trait ToDot {
+    /// Renders the structure as a Graphviz `digraph`.
+    fn to_dot(&self, vocab: &Vocab) -> String;
+}
+
+fn esc(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+impl ToDot for WorldModel {
+    fn to_dot(&self, vocab: &Vocab) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", esc(self.name()));
+        let _ = writeln!(out, "  rankdir=LR;");
+        for s in self.states() {
+            let _ = writeln!(
+                out,
+                "  m{s} [label=\"{}\", shape=circle];",
+                esc(&vocab.display_props(self.label(s)))
+            );
+        }
+        for s in self.states() {
+            for &t in self.successors(s) {
+                let _ = writeln!(out, "  m{s} -> m{t};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl ToDot for Controller {
+    fn to_dot(&self, vocab: &Vocab) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", esc(self.name()));
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  init [shape=point];");
+        for q in 0..self.num_states() {
+            let _ = writeln!(out, "  q{q} [label=\"q{q}\", shape=circle];");
+        }
+        let _ = writeln!(out, "  init -> q{};", self.initial());
+        for t in self.transitions() {
+            let mut guard_parts = Vec::new();
+            for p in t.guard.pos.iter() {
+                guard_parts.push(vocab.prop_name(p).to_owned());
+            }
+            for p in t.guard.neg.iter() {
+                guard_parts.push(format!("¬{}", vocab.prop_name(p)));
+            }
+            let guard = if guard_parts.is_empty() {
+                "⊤".to_owned()
+            } else {
+                guard_parts.join(" ∧ ")
+            };
+            let _ = writeln!(
+                out,
+                "  q{} -> q{} [label=\"{} / {}\"];",
+                t.from,
+                t.to,
+                esc(&guard),
+                esc(&vocab.display_acts(t.action))
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl ToDot for Product {
+    fn to_dot(&self, vocab: &Vocab) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph product {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (i, s) in self.states().iter().enumerate() {
+            let shape = if self.initial().contains(&i) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(
+                out,
+                "  s{i} [label=\"(p{}, q{})\", shape={shape}];",
+                s.model, s.ctrl
+            );
+        }
+        for e in self.edges() {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{} / {}\"];",
+                e.from,
+                e.to,
+                esc(&vocab.display_props(e.props)),
+                esc(&vocab.display_acts(e.acts))
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActSet, ControllerBuilder, Guard, PropSet};
+
+    #[test]
+    fn dot_outputs_are_well_formed() {
+        let mut v = Vocab::new();
+        let green = v.add_prop("green").unwrap();
+        let go = v.add_act("go").unwrap();
+        let mut model = WorldModel::new("light");
+        let a = model.add_state(PropSet::singleton(green));
+        let b = model.add_state(PropSet::empty());
+        model.add_transition(a, b);
+        model.add_transition(b, a);
+        let ctrl = ControllerBuilder::new("c", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
+            .transition(0, Guard::always().forbids(green), ActSet::empty(), 0)
+            .build()
+            .unwrap();
+        let product = Product::build(&model, &ctrl);
+
+        for dot in [model.to_dot(&v), ctrl.to_dot(&v), product.to_dot(&v)] {
+            assert!(dot.starts_with("digraph"));
+            assert!(dot.trim_end().ends_with('}'));
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+        assert!(ctrl.to_dot(&v).contains("¬green"));
+        assert!(model.to_dot(&v).contains("green"));
+    }
+}

@@ -1,0 +1,596 @@
+//! # bdd — reduced ordered binary decision diagrams
+//!
+//! A compact BDD kernel in the style of Bryant (1986) with the classic
+//! implementation techniques: a hash-consed unique table (canonicity ⇒
+//! equality is pointer equality), a memoized `ite` (if-then-else) core
+//! from which all Boolean connectives derive, existential/universal
+//! quantification over variable sets, and variable renaming for
+//! relational image computation.
+//!
+//! This crate is the symbolic kernel behind `ltlcheck`'s NuSMV-style
+//! backend: transition relations of product automata are encoded over
+//! current/next state bits and fair cycles are found with symbolic
+//! fixpoints instead of explicit graph search.
+//!
+//! ## Example
+//!
+//! ```
+//! use bdd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! let f = m.and(a, b);
+//! let g = m.or(f, c);
+//!
+//! // Canonicity: structurally equal functions are the same node.
+//! let g2 = {
+//!     let ca = m.or(a, c);
+//!     let cb = m.or(b, c);
+//!     m.and(ca, cb) // (a∨c)∧(b∨c) ≡ (a∧b)∨c
+//! };
+//! assert_eq!(g, g2);
+//!
+//! // Quantification: ∃c. g ≡ true (pick c = 1).
+//! let ex = m.exists(g, &[2]);
+//! assert_eq!(ex, m.constant(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A BDD node reference. `Ref`s are only meaningful with the manager that
+/// produced them; canonicity makes equality of `Ref`s equality of
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+const FALSE: Ref = Ref(0);
+const TRUE: Ref = Ref(1);
+/// Sentinel variable index for terminal nodes (orders after every real
+/// variable).
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A BDD manager: owns the node store and all caches.
+///
+/// Variables are indexed `0..num_vars` and ordered by index (lower index
+/// = closer to the root).
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    quant_cache: HashMap<(Ref, u64), Ref>,
+    rename_cache: HashMap<(Ref, i64), Ref>,
+    num_vars: u32,
+}
+
+impl BddManager {
+    /// Creates a manager for `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds `2^31` (ample for any realistic use).
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars < (1 << 31), "too many variables");
+        let mut manager = BddManager {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            quant_cache: HashMap::new(),
+            rename_cache: HashMap::new(),
+            num_vars,
+        };
+        // Index 0 = false terminal, 1 = true terminal.
+        manager.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: FALSE,
+            hi: FALSE,
+        });
+        manager.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: TRUE,
+            hi: TRUE,
+        });
+        manager
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function.
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    /// The literal `xᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn var(&mut self, i: u32) -> Ref {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        self.mk(i, FALSE, TRUE)
+    }
+
+    /// The literal `¬xᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn nvar(&mut self, i: u32) -> Ref {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        self.mk(i, TRUE, FALSE)
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn node(&self, r: Ref) -> Node {
+        self.nodes[r.0 as usize]
+    }
+
+    fn var_of(&self, r: Ref) -> u32 {
+        self.node(r).var
+    }
+
+    /// Shannon cofactors of `f` with respect to variable `v` (which must
+    /// be ≤ the root variable of `f`).
+    fn cofactors(&self, f: Ref, v: u32) -> (Ref, Ref) {
+        let n = self.node(f);
+        if n.var == v {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`. The core
+    /// operation every connective reduces to.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal shortcuts.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// `¬f`.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// `f ∧ g`.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, FALSE)
+    }
+
+    /// `f ∨ g`.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, TRUE, g)
+    }
+
+    /// `f ⊕ g`.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// `f → g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, TRUE)
+    }
+
+    /// `f ↔ g`.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Conjunction over an iterator (`true` when empty).
+    pub fn and_all(&mut self, parts: impl IntoIterator<Item = Ref>) -> Ref {
+        let mut acc = TRUE;
+        for p in parts {
+            acc = self.and(acc, p);
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator (`false` when empty).
+    pub fn or_all(&mut self, parts: impl IntoIterator<Item = Ref>) -> Ref {
+        let mut acc = FALSE;
+        for p in parts {
+            acc = self.or(acc, p);
+        }
+        acc
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range.
+    pub fn exists(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        for &v in vars {
+            assert!(v < self.num_vars, "variable {v} out of range");
+        }
+        let mask = Self::var_mask(vars);
+        self.exists_inner(f, vars, mask)
+    }
+
+    fn var_mask(vars: &[u32]) -> u64 {
+        // Hash key for the quantified set; exact for ≤64 variables, a
+        // partitioned fold otherwise (cache key only, never semantics).
+        vars.iter().fold(0u64, |m, &v| m ^ (1u64.rotate_left(v % 63) ^ (u64::from(v) << 32)))
+    }
+
+    fn exists_inner(&mut self, f: Ref, vars: &[u32], mask: u64) -> Ref {
+        if f == TRUE || f == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.quant_cache.get(&(f, mask)) {
+            return r;
+        }
+        let n = self.node(f);
+        // Variables are ordered: skip quantified variables above the root.
+        let r = if vars.contains(&n.var) {
+            let lo = self.exists_inner(n.lo, vars, mask);
+            let hi = self.exists_inner(n.hi, vars, mask);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_inner(n.lo, vars, mask);
+            let hi = self.exists_inner(n.hi, vars, mask);
+            self.mk(n.var, lo, hi)
+        };
+        self.quant_cache.insert((f, mask), r);
+        r
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        let nf = self.not(f);
+        let ex = self.exists(nf, vars);
+        self.not(ex)
+    }
+
+    /// Renames every variable `v` to `v + offset` (negative offsets shift
+    /// down). Used to move between current-state and next-state variable
+    /// blocks in transition relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any renamed variable falls outside the manager's range.
+    pub fn rename_shift(&mut self, f: Ref, offset: i64) -> Ref {
+        if f == TRUE || f == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.rename_cache.get(&(f, offset)) {
+            return r;
+        }
+        let n = self.node(f);
+        let new_var = i64::from(n.var) + offset;
+        assert!(
+            (0..i64::from(self.num_vars)).contains(&new_var),
+            "renamed variable out of range"
+        );
+        let lo = self.rename_shift(n.lo, offset);
+        let hi = self.rename_shift(n.hi, offset);
+        let r = self.mk(new_var as u32, lo, hi);
+        self.rename_cache.insert((f, offset), r);
+        r
+    }
+
+    /// Evaluates `f` under a full assignment (`assignment[i]` = value of
+    /// variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than a variable the function
+    /// depends on.
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == TRUE {
+                return true;
+            }
+            if cur == FALSE {
+                return false;
+            }
+            let n = self.node(cur);
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+    }
+
+    /// `true` iff `f` is satisfiable.
+    pub fn satisfiable(&self, f: Ref) -> bool {
+        f != FALSE
+    }
+
+    /// Picks one satisfying assignment of `f`, if any. Variables the
+    /// function does not depend on are reported as `false`.
+    pub fn any_sat(&self, f: Ref) -> Option<Vec<bool>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut cur = f;
+        while cur != TRUE {
+            let n = self.node(cur);
+            if n.hi != FALSE {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables.
+    pub fn sat_count(&self, f: Ref) -> u64 {
+        fn count(m: &BddManager, f: Ref, memo: &mut HashMap<Ref, f64>) -> f64 {
+            if f == FALSE {
+                return 0.0;
+            }
+            if f == TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let n = m.node(f);
+            let lo_var = m.var_of(n.lo);
+            let hi_var = m.var_of(n.hi);
+            let lo_gap = f64::from(lo_var.min(m.num_vars)) - f64::from(n.var) - 1.0;
+            let hi_gap = f64::from(hi_var.min(m.num_vars)) - f64::from(n.var) - 1.0;
+            let c = count(m, n.lo, memo) * lo_gap.exp2() + count(m, n.hi, memo) * hi_gap.exp2();
+            memo.insert(f, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        let root_gap = f64::from(self.var_of(f).min(self.num_vars));
+        (count(self, f, &mut memo) * root_gap.exp2()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_and_literals() {
+        let mut m = BddManager::new(2);
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert_ne!(t, f);
+        let a = m.var(0);
+        let na = m.nvar(0);
+        let not_a = m.not(a);
+        assert_eq!(na, not_a);
+        assert!(m.eval(a, &[true, false]));
+        assert!(!m.eval(a, &[false, false]));
+    }
+
+    #[test]
+    fn canonicity_of_equivalent_formulas() {
+        let mut m = BddManager::new(3);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        // De Morgan.
+        let ab = m.and(a, b);
+        let lhs = m.not(ab);
+        let (na, nb) = (m.not(a), m.not(b));
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+        // Distribution.
+        let bc = m.or(b, c);
+        let lhs = m.and(a, bc);
+        let (ab, ac) = (m.and(a, b), m.and(a, c));
+        let rhs = m.or(ab, ac);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = BddManager::new(3);
+        let (a, b) = (m.var(0), m.var(1));
+        let f = m.and(a, b);
+        // ∃b. a∧b = a ; ∀b. a∧b = false.
+        assert_eq!(m.exists(f, &[1]), a);
+        assert_eq!(m.forall(f, &[1]), m.constant(false));
+        // ∃a,b. a∧b = true.
+        assert_eq!(m.exists(f, &[0, 1]), m.constant(true));
+    }
+
+    #[test]
+    fn rename_shift_moves_blocks() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        let shifted = m.rename_shift(f, 2);
+        // x0⊕x1 over [t,f,·,·] vs x2⊕x3 over [·,·,t,f].
+        assert!(m.eval(f, &[true, false, false, false]));
+        assert!(m.eval(shifted, &[false, false, true, false]));
+        assert!(!m.eval(shifted, &[true, false, true, true]));
+        // Shifting back recovers the original (canonicity!).
+        assert_eq!(m.rename_shift(shifted, -2), f);
+    }
+
+    #[test]
+    fn any_sat_finds_witness() {
+        let mut m = BddManager::new(3);
+        let (a, c) = (m.var(0), m.var(2));
+        let na = m.not(a);
+        let f = m.and(na, c);
+        let w = m.any_sat(f).expect("satisfiable");
+        assert!(m.eval(f, &w));
+        let fals = m.constant(false);
+        assert!(m.any_sat(fals).is_none());
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        assert_eq!(m.sat_count(a), 4); // a=1, b,c free
+        let b = m.var(1);
+        let f = m.or(a, b);
+        assert_eq!(m.sat_count(f), 6);
+        assert_eq!(m.sat_count(m.constant(true)), 8);
+        assert_eq!(m.sat_count(m.constant(false)), 0);
+    }
+
+    /// A tiny propositional formula AST for differential testing.
+    #[derive(Debug, Clone)]
+    enum Form {
+        Var(u32),
+        Not(Box<Form>),
+        And(Box<Form>, Box<Form>),
+        Or(Box<Form>, Box<Form>),
+        Xor(Box<Form>, Box<Form>),
+    }
+
+    fn arb_form(vars: u32) -> impl Strategy<Value = Form> {
+        let leaf = (0..vars).prop_map(Form::Var);
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|f| Form::Not(Box::new(f))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Form::Xor(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn build(m: &mut BddManager, f: &Form) -> Ref {
+        match f {
+            Form::Var(i) => m.var(*i),
+            Form::Not(a) => {
+                let a = build(m, a);
+                m.not(a)
+            }
+            Form::And(a, b) => {
+                let (a, b) = (build(m, a), build(m, b));
+                m.and(a, b)
+            }
+            Form::Or(a, b) => {
+                let (a, b) = (build(m, a), build(m, b));
+                m.or(a, b)
+            }
+            Form::Xor(a, b) => {
+                let (a, b) = (build(m, a), build(m, b));
+                m.xor(a, b)
+            }
+        }
+    }
+
+    fn truth(f: &Form, env: &[bool]) -> bool {
+        match f {
+            Form::Var(i) => env[*i as usize],
+            Form::Not(a) => !truth(a, env),
+            Form::And(a, b) => truth(a, env) && truth(b, env),
+            Form::Or(a, b) => truth(a, env) || truth(b, env),
+            Form::Xor(a, b) => truth(a, env) ^ truth(b, env),
+        }
+    }
+
+    proptest! {
+        /// The BDD agrees with direct truth-table evaluation on every
+        /// assignment of up to 4 variables.
+        #[test]
+        fn matches_truth_table(form in arb_form(4)) {
+            let mut m = BddManager::new(4);
+            let f = build(&mut m, &form);
+            for bits in 0..16u32 {
+                let env: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+                prop_assert_eq!(m.eval(f, &env), truth(&form, &env));
+            }
+        }
+
+        /// ∃x.f is satisfied exactly where some cofactor is.
+        #[test]
+        fn exists_is_disjunction_of_cofactors(form in arb_form(3)) {
+            let mut m = BddManager::new(3);
+            let f = build(&mut m, &form);
+            let ex = m.exists(f, &[0]);
+            for bits in 0..8u32 {
+                let mut env: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+                env[0] = false;
+                let lo = m.eval(f, &env);
+                env[0] = true;
+                let hi = m.eval(f, &env);
+                prop_assert_eq!(m.eval(ex, &env), lo || hi);
+            }
+        }
+
+        /// sat_count matches brute-force enumeration.
+        #[test]
+        fn sat_count_matches_enumeration(form in arb_form(4)) {
+            let mut m = BddManager::new(4);
+            let f = build(&mut m, &form);
+            let expected = (0..16u32)
+                .filter(|bits| {
+                    let env: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+                    truth(&form, &env)
+                })
+                .count() as u64;
+            prop_assert_eq!(m.sat_count(f), expected);
+        }
+    }
+}

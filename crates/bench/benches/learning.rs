@@ -1,0 +1,95 @@
+//! Micro-benchmarks for the learning substrate: language-model sampling,
+//! sequence log-likelihood gradients (the dominant DPO cost) and one DPO
+//! pair step, under full fine-tuning and LoRA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpo::{dpo_loss_grad, PreferencePair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinylm::{AdaptMode, CondLm, LmConfig, SampleOptions};
+
+fn model(adapt: AdaptMode) -> CondLm {
+    let cfg = LmConfig {
+        vocab_size: 200,
+        num_tasks: 10,
+        adapt,
+        ..LmConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    CondLm::new(cfg, &mut rng)
+}
+
+fn sample_response(lm: &CondLm) -> Vec<tinylm::Token> {
+    let mut rng = StdRng::seed_from_u64(5);
+    lm.sample(
+        0,
+        &mut rng,
+        SampleOptions {
+            temperature: 1.0,
+            max_len: 40,
+            ..SampleOptions::default()
+        },
+    )
+    .expect("task 0 exists")
+}
+
+fn bench_lm(c: &mut Criterion) {
+    let lm = model(AdaptMode::Full);
+    c.bench_function("tinylm/sample_40_tokens", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            std::hint::black_box(
+                lm.sample(
+                    0,
+                    &mut rng,
+                    SampleOptions {
+                        temperature: 1.0,
+                        max_len: 40,
+                        ..SampleOptions::default()
+                    },
+                )
+                .expect("task 0"),
+            )
+        })
+    });
+
+    let resp = sample_response(&lm);
+    c.bench_function("tinylm/log_prob_fast", |b| {
+        b.iter(|| std::hint::black_box(lm.log_prob(0, &resp).expect("in range")))
+    });
+    c.bench_function("tinylm/log_prob_grad_full", |b| {
+        b.iter(|| std::hint::black_box(lm.log_prob_grad(0, &resp).expect("in range")))
+    });
+    let lora = model(AdaptMode::Lora { rank: 4 });
+    c.bench_function("tinylm/log_prob_grad_lora_r4", |b| {
+        b.iter(|| std::hint::black_box(lora.log_prob_grad(0, &resp).expect("in range")))
+    });
+}
+
+fn bench_dpo(c: &mut Criterion) {
+    for (label, adapt) in [
+        ("full", AdaptMode::Full),
+        ("lora_r4", AdaptMode::Lora { rank: 4 }),
+    ] {
+        let policy = model(adapt);
+        let reference = policy.clone();
+        let winner = sample_response(&policy);
+        let mut loser = winner.clone();
+        loser.truncate(loser.len().saturating_sub(3).max(1));
+        let pair = PreferencePair {
+            task: 0,
+            winner,
+            loser,
+        };
+        c.bench_function(&format!("dpo/pair_loss_grad_{label}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    dpo_loss_grad(&policy, &reference, &pair, 0.5).expect("in range"),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_lm, bench_dpo);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Micro-benchmarks for the verification and simulation substrates:
+//! LTL→Büchi translation, product construction, full 15-spec
+//! verification (the per-response cost of automated feedback), GLM2FSA
+//! synthesis, LTLf monitoring and simulator throughput.
+
+use autokit::Product;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpo_af::domain::DomainBundle;
+use dpo_af::experiments::demo::{RIGHT_TURN_AFTER, RIGHT_TURN_BEFORE};
+use dpo_af::feedback::{justice_for, scenario_model, score_response};
+use drivesim::{ground, Scenario, ScenarioConfig, ScenarioKind};
+use glm2fsa::{synthesize, with_default_action, FsaOptions};
+use ltlcheck::specs::driving_specs;
+use ltlcheck::{verify_all_fair, Buchi, Ltl};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_buchi(c: &mut Criterion) {
+    let bundle = DomainBundle::new();
+    let specs = driving_specs(&bundle.driving);
+    c.bench_function("buchi/translate_15_specs", |b| {
+        b.iter(|| {
+            for s in &specs {
+                let neg = Ltl::not(s.formula.clone());
+                std::hint::black_box(Buchi::from_ltl(&neg));
+            }
+        })
+    });
+    // The largest single spec.
+    let phi12 = specs
+        .iter()
+        .max_by_key(|s| s.formula.size())
+        .expect("non-empty");
+    c.bench_function("buchi/translate_largest_spec", |b| {
+        b.iter(|| std::hint::black_box(Buchi::from_ltl(&Ltl::not(phi12.formula.clone()))))
+    });
+}
+
+fn demo_controller(bundle: &DomainBundle) -> autokit::Controller {
+    let ctrl = synthesize(
+        "turn right",
+        &RIGHT_TURN_AFTER,
+        &bundle.lexicon,
+        FsaOptions::default(),
+    )
+    .expect("demo aligns");
+    with_default_action(&ctrl, bundle.driving.stop)
+}
+
+fn bench_product_and_verify(c: &mut Criterion) {
+    let bundle = DomainBundle::new();
+    let ctrl = demo_controller(&bundle);
+    let model = scenario_model(&bundle.driving, ScenarioKind::TrafficLight);
+    c.bench_function("product/traffic_light_x_right_turn", |b| {
+        b.iter(|| std::hint::black_box(Product::build(&model, &ctrl)))
+    });
+
+    let specs = driving_specs(&bundle.driving);
+    let justice = justice_for(&bundle.driving, ScenarioKind::TrafficLight);
+    c.bench_function("verify/15_specs_with_fairness", |b| {
+        b.iter(|| {
+            std::hint::black_box(verify_all_fair(
+                &model,
+                &ctrl,
+                specs.iter().map(|s| (s.name.as_str(), &s.formula)),
+                &justice,
+            ))
+        })
+    });
+
+    // The full per-response feedback cost, including alignment + parsing.
+    let text = RIGHT_TURN_BEFORE.join(" ; ");
+    let task = &bundle.tasks[0];
+    c.bench_function("feedback/score_one_response", |b| {
+        b.iter(|| std::hint::black_box(score_response(&bundle, task, &text)))
+    });
+}
+
+fn bench_glm2fsa(c: &mut Criterion) {
+    let bundle = DomainBundle::new();
+    c.bench_function("glm2fsa/synthesize_right_turn", |b| {
+        b.iter(|| {
+            std::hint::black_box(synthesize(
+                "turn right",
+                &RIGHT_TURN_BEFORE,
+                &bundle.lexicon,
+                FsaOptions::default(),
+            ))
+        })
+    });
+    c.bench_function("glm2fsa/align_one_step", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                bundle
+                    .lexicon
+                    .align("If there is no oncoming traffic, make a left turn."),
+            )
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let bundle = DomainBundle::new();
+    let ctrl = demo_controller(&bundle);
+    c.bench_function("drivesim/ground_100_steps", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Scenario::new(ScenarioKind::TrafficLight, ScenarioConfig::default()),
+                    StdRng::seed_from_u64(7),
+                )
+            },
+            |(mut scenario, mut rng)| {
+                std::hint::black_box(ground(&ctrl, &mut scenario, &bundle.driving, &mut rng, 100))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // LTLf monitoring cost for one 100-step trace against all 15 specs.
+    let mut scenario = Scenario::new(ScenarioKind::TrafficLight, ScenarioConfig::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace = ground(&ctrl, &mut scenario, &bundle.driving, &mut rng, 100);
+    let specs = driving_specs(&bundle.driving);
+    c.bench_function("ltlf/monitor_trace_15_specs", |b| {
+        b.iter(|| {
+            for s in &specs {
+                std::hint::black_box(ltlcheck::finite::satisfies(&trace, &s.formula));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_buchi,
+    bench_product_and_verify,
+    bench_glm2fsa,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 12: detector confidence→accuracy mappings, simulation vs real
+//! world, per object class — the sim-to-real consistency study.
+
+use bench::{fast_mode, table};
+use dpo_af::experiments::fig12::{self, Fig12Config};
+
+fn main() {
+    let mut cfg = Fig12Config::default();
+    if fast_mode() {
+        cfg.frames = 300;
+    }
+    let result = fig12::run(cfg);
+
+    for c in &result.consistent {
+        let rows: Vec<Vec<String>> = c
+            .sim
+            .bins
+            .iter()
+            .zip(&c.real.bins)
+            .filter(|(s, r)| s.count > 0 || r.count > 0)
+            .map(|(s, r)| {
+                vec![
+                    format!("{:.2}", s.confidence),
+                    format!("{:.3} (n={})", s.accuracy, s.count),
+                    format!("{:.3} (n={})", r.accuracy, r.count),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &format!("Figure 12 — {:?}: confidence → accuracy", c.class),
+                &["confidence bin", "sim accuracy", "real accuracy"],
+                &rows
+            )
+        );
+        println!("consistency gap: {:.4}\n", c.gap);
+    }
+
+    println!("negative control (domain-biased detector) per-class gaps:");
+    for (class, gap) in &result.biased_gaps {
+        println!("  {class:?}: {gap:.4}");
+    }
+    let mean: f32 = result.consistent.iter().map(|c| c.gap).sum::<f32>()
+        / result.consistent.len() as f32;
+    println!(
+        "\nconsistent-detector mean gap {mean:.4} → the perception stack behaves \
+         approximately identically in sim and real, supporting controller transfer (§5.3)."
+    );
+}

@@ -1,0 +1,255 @@
+//! Automated feedback: the verification side of DPO-AF.
+//!
+//! Each response is aligned, parsed and compiled to an FSA controller,
+//! implemented in its task's scenario world model, and checked against
+//! the 15 driving specifications. The number of satisfied specifications
+//! is the response's score — the signal that replaces human preference
+//! labels (paper Section 4.2–4.3).
+//!
+//! Verification runs under per-scenario **justice** assumptions (the
+//! environment does not blockade the vehicle forever), mirroring NuSMV
+//! `JUSTICE` declarations; without them the liveness rules Φ₇/Φ₁₀/Φ₁₃
+//! are unsatisfiable against a fully adversarial environment.
+
+use crate::domain::{DomainBundle, TaskSpec};
+use autokit::{presets::DrivingDomain, Controller, WorldModel};
+use drivesim::ScenarioKind;
+use glm2fsa::{synthesize, with_default_action, FsaOptions};
+use ltlcheck::specs::driving_specs;
+use ltlcheck::{verify_all_fair, Justice, Ltl, VerificationReport};
+use serde::{Deserialize, Serialize};
+
+/// FSA-construction options for the driving domain: `stop` is a
+/// *reactive* action (`"if the light is not green, stop"` applies only
+/// while its condition holds), every maneuver is *blocking* (the vehicle
+/// waits for its precondition).
+pub fn fsa_options(d: &DrivingDomain) -> FsaOptions {
+    FsaOptions {
+        non_blocking: autokit::ActSet::singleton(d.stop),
+        ..FsaOptions::default()
+    }
+}
+
+/// The scenario's world model (paper Figures 5, 6, 15, 16, 17).
+pub fn scenario_model(d: &DrivingDomain, kind: ScenarioKind) -> WorldModel {
+    match kind {
+        ScenarioKind::TrafficLight => d.traffic_light_model(),
+        ScenarioKind::LeftTurnSignal => d.left_turn_light_model(),
+        ScenarioKind::WideMedian => d.wide_median_model(),
+        ScenarioKind::TwoWayStop => d.two_way_stop_model(),
+        ScenarioKind::Roundabout => d.roundabout_model(),
+    }
+}
+
+/// The scenario's justice assumptions: infinitely often, the intersection
+/// is clear (and its light, if any, is green) — i.e. the environment
+/// eventually gives the vehicle a chance to move.
+pub fn justice_for(d: &DrivingDomain, kind: ScenarioKind) -> Vec<Justice> {
+    let clear_of = |props: &[autokit::PropId]| -> Ltl {
+        Ltl::all(props.iter().map(|&p| Ltl::not(Ltl::prop(p))))
+    };
+    let condition = match kind {
+        ScenarioKind::TrafficLight => Ltl::and(
+            Ltl::prop(d.green_tl),
+            clear_of(&[d.car_left, d.opposite_car, d.ped_right, d.ped_front]),
+        ),
+        ScenarioKind::LeftTurnSignal => Ltl::and(
+            Ltl::prop(d.green_ll),
+            clear_of(&[d.opposite_car, d.ped_front]),
+        ),
+        ScenarioKind::WideMedian => clear_of(&[d.car_left, d.car_right]),
+        ScenarioKind::TwoWayStop => clear_of(&[d.car_left, d.car_right, d.ped_front]),
+        ScenarioKind::Roundabout => clear_of(&[d.car_left, d.ped_left, d.ped_right]),
+    };
+    vec![Justice::new("way eventually clears", condition).expect("propositional by construction")]
+}
+
+/// A response with its verification outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredResponse {
+    /// The decoded response text.
+    pub text: String,
+    /// The synthesized controller (`None` when alignment/parsing failed).
+    pub controller: Option<Controller>,
+    /// The per-specification report (`None` when synthesis failed).
+    pub report: Option<VerificationReport>,
+    /// Number of satisfied specifications (0 on synthesis failure) — the
+    /// ranking key.
+    pub num_satisfied: usize,
+}
+
+/// Scores a raw response text for a task: align → parse → FSA →
+/// `M ⊗ C ⊨ Φᵢ` for the 15 specifications under the scenario's justice
+/// assumptions.
+///
+/// Responses that fail to align (the paper's property-1 failure mode)
+/// score 0 and therefore rank below every verifiable response.
+pub fn score_response(bundle: &DomainBundle, task: &TaskSpec, text: &str) -> ScoredResponse {
+    let steps = DomainBundle::split_steps(text);
+    let ctrl = match synthesize(&task.prompt, &steps, &bundle.lexicon, fsa_options(&bundle.driving)) {
+        Ok(c) => c,
+        Err(_) => {
+            return ScoredResponse {
+                text: text.to_owned(),
+                controller: None,
+                report: None,
+                num_satisfied: 0,
+            }
+        }
+    };
+    // The paper's SMV encodings give the vehicle an action at every step:
+    // an observing controller is a stopped controller.
+    let ctrl = with_default_action(&ctrl, bundle.driving.stop);
+    let model = scenario_model(&bundle.driving, task.scenario);
+    let justice = justice_for(&bundle.driving, task.scenario);
+    let specs = driving_specs(&bundle.driving);
+    let report = verify_all_fair(
+        &model,
+        &ctrl,
+        specs.iter().map(|s| (s.name.as_str(), &s.formula)),
+        &justice,
+    );
+    ScoredResponse {
+        text: text.to_owned(),
+        num_satisfied: report.num_satisfied(),
+        controller: Some(ctrl),
+        report: Some(report),
+    }
+}
+
+/// [`score_response`] on encoded tokens.
+pub fn score_tokens(
+    bundle: &DomainBundle,
+    task: &TaskSpec,
+    tokens: &[tinylm::Token],
+) -> ScoredResponse {
+    score_response(bundle, task, &bundle.decode(tokens))
+}
+
+/// Per-specification empirical satisfaction rates `P_Φ` from simulator
+/// rollouts (paper Equation 2 / Figure 11).
+///
+/// Runs `runs` episodes of `steps` ticks in the task's scenario and
+/// monitors each trace with the LTLf semantics.
+pub fn empirical_rates(
+    bundle: &DomainBundle,
+    task: &TaskSpec,
+    ctrl: &Controller,
+    runs: usize,
+    steps: usize,
+    rng: &mut impl rand::Rng,
+) -> Vec<(String, f64)> {
+    let mut scenario = drivesim::Scenario::new(task.scenario, drivesim::ScenarioConfig::default());
+    let traces = drivesim::ground_many(ctrl, &mut scenario, &bundle.driving, rng, steps, runs);
+    driving_specs(&bundle.driving)
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                ltlcheck::finite::satisfaction_rate(traces.iter(), &s.formula),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{render_response, Style};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn justice_is_realizable_in_every_scenario() {
+        let d = DrivingDomain::new();
+        for kind in ScenarioKind::all() {
+            let model = scenario_model(&d, kind);
+            let justice = justice_for(&d, kind);
+            let witness = model.states().any(|s| {
+                justice
+                    .iter()
+                    .all(|j| j.holds(model.label(s), autokit::ActSet::empty()))
+            });
+            assert!(witness, "justice unrealizable in {kind:?}");
+        }
+    }
+
+    #[test]
+    fn careful_beats_hasty_beats_reckless() {
+        let bundle = DomainBundle::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let task = &bundle.tasks[0]; // turn right at the traffic light
+        let careful = score_response(
+            &bundle,
+            task,
+            &render_response(&bundle.driving, task, Style::Careful, &mut rng),
+        );
+        let hasty = score_response(
+            &bundle,
+            task,
+            &render_response(&bundle.driving, task, Style::Hasty, &mut rng),
+        );
+        let reckless = score_response(
+            &bundle,
+            task,
+            &render_response(&bundle.driving, task, Style::Reckless, &mut rng),
+        );
+        assert!(
+            careful.num_satisfied > hasty.num_satisfied,
+            "careful {} vs hasty {} (careful failed: {:?})",
+            careful.num_satisfied,
+            hasty.num_satisfied,
+            careful.report.as_ref().map(|r| r.failed())
+        );
+        assert!(
+            hasty.num_satisfied > reckless.num_satisfied,
+            "hasty {} vs reckless {}",
+            hasty.num_satisfied,
+            reckless.num_satisfied
+        );
+    }
+
+    #[test]
+    fn unalignable_scores_zero() {
+        let bundle = DomainBundle::new();
+        let task = &bundle.tasks[0];
+        let scored = score_response(&bundle, task, "trust your instincts and merge .");
+        assert_eq!(scored.num_satisfied, 0);
+        assert!(scored.controller.is_none());
+        assert!(scored.report.is_none());
+    }
+
+    #[test]
+    fn careful_satisfies_most_specs_on_every_task() {
+        let bundle = DomainBundle::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for task in &bundle.tasks {
+            let text = render_response(&bundle.driving, task, Style::Careful, &mut rng);
+            let scored = score_response(&bundle, task, &text);
+            assert!(
+                scored.num_satisfied >= 12,
+                "task {} (`{}`) careful controller only satisfied {}/15; failed {:?}; text `{}`",
+                task.id,
+                task.prompt,
+                scored.num_satisfied,
+                scored.report.as_ref().map(|r| r.failed()),
+                text
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_rates_cover_all_specs() {
+        let bundle = DomainBundle::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = &bundle.tasks[0];
+        let text = render_response(&bundle.driving, task, Style::Careful, &mut rng);
+        let scored = score_response(&bundle, task, &text);
+        let ctrl = scored.controller.expect("careful synthesizes");
+        let rates = empirical_rates(&bundle, task, &ctrl, 10, 30, &mut rng);
+        assert_eq!(rates.len(), 15);
+        for (name, rate) in &rates {
+            assert!((0.0..=1.0).contains(rate), "{name}: {rate}");
+        }
+    }
+}

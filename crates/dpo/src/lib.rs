@@ -1,0 +1,40 @@
+//! # dpo — Direct Preference Optimization
+//!
+//! Implementation of the DPO objective (Rafailov et al., 2023) used by
+//! *"Fine-Tuning Language Models Using Formal Methods Feedback"*
+//! (MLSys 2024) to fine-tune the language model from automatically ranked
+//! response pairs.
+//!
+//! Given a dataset of triples `(x, y_w, y_l)` — a prompt, a preferred
+//! response and a dispreferred response — DPO minimizes
+//!
+//! ```text
+//! L(θ) = −E log σ( β·[ (log πθ(y_w|x) − log πref(y_w|x))
+//!                    − (log πθ(y_l|x) − log πref(y_l|x)) ] )
+//! ```
+//!
+//! against a frozen reference policy `πref`, with no explicit reward model
+//! and no reinforcement learning.
+//!
+//! The crate provides:
+//!
+//! * [`PreferencePair`] / [`PreferenceDataset`] — datasets built from
+//!   scored responses ([`PreferenceDataset::add_scored`] forms all
+//!   strictly-ordered pairs, the paper's `N · C(m, 2)` bound).
+//! * [`dpo_loss_grad`] — exact loss, metrics and parameter gradient for
+//!   one pair.
+//! * [`DpoTrainer`] — a minibatch trainer that records the paper's three
+//!   Figure-8 metrics per epoch: **loss**, **accuracy**
+//!   (`1[P(y_w|x,θ) > P(y_l|x,θ)]`) and **marginal preference**
+//!   (the bracketed quantity above), with periodic checkpoints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod loss;
+mod trainer;
+
+pub use data::{PreferenceDataset, PreferencePair};
+pub use loss::{dpo_loss_grad, eval_pair, ipo_loss_grad, PairEval};
+pub use trainer::{DpoTrainer, EpochStats, TrainOptions};

@@ -1,0 +1,38 @@
+use std::fmt;
+
+/// Errors from controller synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The response contained no steps at all.
+    EmptyStepList,
+    /// A step could not be parsed against the lexicon.
+    ///
+    /// In the paper's pipeline this is an *alignment failure*: the
+    /// language model produced phrasing that cannot be mapped onto the
+    /// defined propositions and actions. DPO-AF explicitly counts reducing
+    /// these failures among its fine-tuning goals (Section 4.1, property 1).
+    UnparsableStep {
+        /// Zero-based index of the offending step.
+        index: usize,
+        /// The raw step text.
+        text: String,
+        /// Why parsing failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::EmptyStepList => write!(f, "response contained no steps"),
+            SynthesisError::UnparsableStep {
+                index,
+                text,
+                reason,
+            } => write!(f, "step {} (`{}`) failed to align: {}", index + 1, text, reason),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}

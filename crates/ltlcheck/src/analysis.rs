@@ -1,0 +1,299 @@
+//! Specification analysis: satisfiability, validity, equivalence and
+//! vacuity.
+//!
+//! A rule book is only as good as its rules. These helpers catch the
+//! classic authoring mistakes before any controller is blamed:
+//!
+//! * an **unsatisfiable** specification fails every controller;
+//! * a **valid** (tautological) specification passes every controller;
+//! * an implication whose antecedent is unreachable in the world model
+//!   passes **vacuously** — the rule never actually constrains anything.
+
+use crate::buchi::Buchi;
+use crate::{check_graph, Ltl};
+use autokit::LabelGraph;
+use std::sync::Arc;
+
+/// Decides whether some infinite word over `2^{P ∪ P_A}` satisfies `phi`.
+///
+/// Runs a Büchi-emptiness check on the formula automaton alone: a state
+/// is *consistent* when its positive and negative literal constraints do
+/// not clash (such a symbol always exists, the alphabet being the full
+/// power set); the language is non-empty iff an accepting cycle of
+/// consistent states is reachable from a consistent initial state.
+///
+/// # Example
+///
+/// ```
+/// use autokit::Vocab;
+/// use ltlcheck::{analysis, parse};
+///
+/// let mut v = Vocab::new();
+/// v.add_prop("a")?;
+/// assert!(analysis::satisfiable(&parse("F a", &v)?));
+/// assert!(!analysis::satisfiable(&parse("F (a & !a)", &v)?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn satisfiable(phi: &Ltl) -> bool {
+    let buchi = Buchi::from_ltl(phi);
+    let n = buchi.num_states();
+    let consistent: Vec<bool> = buchi
+        .states()
+        .iter()
+        .map(|s| s.pos.iter().all(|a| !s.neg.contains(a)))
+        .collect();
+
+    // Reachability from consistent initial states through consistent
+    // states.
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<usize> = buchi
+        .initial()
+        .iter()
+        .copied()
+        .filter(|&s| consistent[s])
+        .collect();
+    for &s in &stack {
+        reachable[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &t in &buchi.states()[s].succs {
+            if consistent[t] && !reachable[t] {
+                reachable[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+
+    // An accepting lasso exists iff some reachable accepting state can
+    // reach itself through consistent states.
+    (0..n)
+        .filter(|&s| reachable[s] && buchi.states()[s].accepting)
+        .any(|acc| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![acc];
+            while let Some(s) = stack.pop() {
+                for &t in &buchi.states()[s].succs {
+                    if !consistent[t] {
+                        continue;
+                    }
+                    if t == acc {
+                        return true;
+                    }
+                    if !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+            false
+        })
+}
+
+/// `true` iff every infinite word satisfies `phi`.
+pub fn valid(phi: &Ltl) -> bool {
+    !satisfiable(&Ltl::not(phi.clone()))
+}
+
+/// `true` iff the two formulas have the same models.
+pub fn equivalent(a: &Ltl, b: &Ltl) -> bool {
+    valid(&Ltl::iff(a.clone(), b.clone()))
+}
+
+/// How a specification can hold without constraining anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Vacuity {
+    /// The specification is a tautology — true of *any* system.
+    Tautology,
+    /// The specification has the shape `□(antecedent → …)` and the
+    /// antecedent never occurs on any path of the checked graph.
+    UnreachableAntecedent(Ltl),
+}
+
+/// Checks whether `phi` holds on `graph` only vacuously.
+///
+/// Returns `None` when the specification either fails, or holds for a
+/// non-vacuous reason. Detects two vacuity classes: tautologies, and
+/// `□(a → b)`-shaped specifications whose antecedent `a` is never true
+/// along any path of the graph.
+pub fn vacuous_pass(graph: &LabelGraph, phi: &Ltl) -> Option<Vacuity> {
+    if !check_graph(graph, phi).holds() {
+        return None;
+    }
+    if valid(phi) {
+        return Some(Vacuity::Tautology);
+    }
+    // □(a → b) desugars to Release(False, Or(Not(a), b)).
+    if let Ltl::Release(l, r) = phi {
+        if **l == Ltl::False {
+            if let Ltl::Or(not_a, _) = &**r {
+                if let Ltl::Not(a) = &**not_a {
+                    let never_a = Ltl::Release(
+                        Arc::new(Ltl::False),
+                        Arc::new(Ltl::Not(a.clone())),
+                    );
+                    if check_graph(graph, &never_a).holds() {
+                        return Some(Vacuity::UnreachableAntecedent((**a).clone()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use autokit::{ActSet, ProductState, PropSet, Vocab};
+    use proptest::prelude::*;
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        v.add_prop("a").unwrap();
+        v.add_prop("b").unwrap();
+        v.add_act("s").unwrap();
+        v
+    }
+
+    #[test]
+    fn satisfiability_basics() {
+        let v = vocab();
+        for sat in ["a", "F a", "G a", "a U b", "G F a", "!a", "X X a"] {
+            assert!(satisfiable(&parse(sat, &v).unwrap()), "{sat}");
+        }
+        for unsat in [
+            "a & !a",
+            "F (a & !a)",
+            "false",
+            "G a & F !a",
+            "(G a) & (!a)",
+            "X(a & !a) & X true",
+        ] {
+            assert!(!satisfiable(&parse(unsat, &v).unwrap()), "{unsat}");
+        }
+    }
+
+    #[test]
+    fn validity_basics() {
+        let v = vocab();
+        for val in ["true", "a | !a", "F true", "G true", "(G a) -> a", "(a & b) -> a"] {
+            assert!(valid(&parse(val, &v).unwrap()), "{val}");
+        }
+        for inval in ["a", "G a", "F a"] {
+            assert!(!valid(&parse(inval, &v).unwrap()), "{inval}");
+        }
+    }
+
+    #[test]
+    fn known_equivalences() {
+        let v = vocab();
+        let pairs = [
+            ("F a", "!(G !a)"),
+            ("a U b", "!((!a) R (!b))"),
+            ("G G a", "G a"),
+            ("F F a", "F a"),
+            ("X (a & b)", "(X a) & (X b)"),
+            ("G(a & b)", "(G a) & (G b)"),
+        ];
+        for (lhs, rhs) in pairs {
+            assert!(
+                equivalent(&parse(lhs, &v).unwrap(), &parse(rhs, &v).unwrap()),
+                "{lhs} ≡ {rhs}"
+            );
+        }
+        assert!(!equivalent(
+            &parse("F(a & b)", &v).unwrap(),
+            &parse("(F a) & (F b)", &v).unwrap()
+        ));
+    }
+
+    fn single_state_graph(props: PropSet) -> LabelGraph {
+        LabelGraph {
+            labels: vec![(props, ActSet::empty())],
+            origin: vec![ProductState { model: 0, ctrl: 0 }],
+            succs: vec![vec![0]],
+            initial: vec![0],
+        }
+    }
+
+    #[test]
+    fn vacuity_detects_unreachable_antecedent() {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        // Graph where `a` never holds.
+        let graph = single_state_graph(PropSet::singleton(b));
+        let spec = parse("G(a -> b)", &v).unwrap();
+        assert_eq!(
+            vacuous_pass(&graph, &spec),
+            Some(Vacuity::UnreachableAntecedent(Ltl::prop(a)))
+        );
+        // Graph where `a` does occur: the pass is genuine.
+        let graph = single_state_graph(PropSet::singleton(a).with(b));
+        assert_eq!(vacuous_pass(&graph, &spec), None);
+    }
+
+    #[test]
+    fn vacuity_detects_tautologies() {
+        let v = vocab();
+        let graph = single_state_graph(PropSet::empty());
+        let spec = parse("G(a -> a)", &v).unwrap();
+        // `G(a → a)` is a tautology wherever it is checked.
+        assert_eq!(vacuous_pass(&graph, &spec), Some(Vacuity::Tautology));
+    }
+
+    #[test]
+    fn failing_specs_are_not_vacuous() {
+        let v = vocab();
+        let graph = single_state_graph(PropSet::empty());
+        let spec = parse("G a", &v).unwrap();
+        assert_eq!(vacuous_pass(&graph, &spec), None);
+    }
+
+    fn arb_ltl() -> impl Strategy<Value = Ltl> {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        let leaf = prop_oneof![
+            Just(Ltl::True),
+            Just(Ltl::False),
+            Just(Ltl::prop(a)),
+            Just(Ltl::prop(b)),
+        ];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Ltl::not),
+                inner.clone().prop_map(Ltl::next),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::and(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::or(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::until(l, r)),
+                (inner.clone(), inner).prop_map(|(l, r)| Ltl::release(l, r)),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// φ or ¬φ is always satisfiable.
+        #[test]
+        fn excluded_middle(phi in arb_ltl()) {
+            prop_assert!(satisfiable(&phi) || satisfiable(&Ltl::not(phi.clone())));
+        }
+
+        /// Validity implies satisfiability (the alphabet is non-empty).
+        #[test]
+        fn valid_implies_satisfiable(phi in arb_ltl()) {
+            if valid(&phi) {
+                prop_assert!(satisfiable(&phi));
+            }
+        }
+
+        /// NNF preserves the language.
+        #[test]
+        fn nnf_is_equivalent(phi in arb_ltl()) {
+            prop_assert!(equivalent(&phi, &phi.nnf()));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! LTL over finite traces (LTLf) — the paper's **empirical evaluation**
+//! path (Section 4.2, Equation 2).
+//!
+//! When a world model is unavailable, the paper runs the controller in a
+//! simulator, collects finite traces `(2^P × 2^{P_A})^N`, and checks each
+//! trace against the specifications. The fraction of satisfying traces is
+//! the satisfaction rate `P_Φ` reported per specification (the paper's
+//! Figure 11).
+//!
+//! ## Semantics
+//!
+//! Standard LTLf: `X` is the *strong* next (false at the last position),
+//! `φ U ψ` requires `ψ` to occur within the trace, and the release dual
+//! `φ R ψ` is weak (holds if `ψ` persists to the end of the trace).
+//! The empty trace satisfies exactly the formulas whose boundary value is
+//! true (`true`, `φ R ψ`, negations thereof, …).
+
+use crate::Ltl;
+use autokit::Trace;
+
+/// Evaluates an LTLf formula on a finite trace.
+///
+/// # Example
+///
+/// ```
+/// use autokit::{ActSet, PropSet, Step, Trace, Vocab};
+/// use ltlcheck::{finite, parse};
+///
+/// let mut v = Vocab::new();
+/// let ped = v.add_prop("pedestrian")?;
+/// let stop = v.add_act("stop")?;
+///
+/// let phi = parse("G(pedestrian -> F stop)", &v)?;
+///
+/// let mut good = Trace::new();
+/// good.push(Step::new(PropSet::singleton(ped), ActSet::empty()));
+/// good.push(Step::new(PropSet::singleton(ped), ActSet::singleton(stop)));
+/// assert!(finite::satisfies(&good, &phi));
+///
+/// let mut bad = Trace::new();
+/// bad.push(Step::new(PropSet::singleton(ped), ActSet::empty()));
+/// bad.push(Step::new(PropSet::empty(), ActSet::empty()));
+/// assert!(!finite::satisfies(&bad, &phi));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn satisfies(trace: &Trace, phi: &Ltl) -> bool {
+    eval(trace, phi)[0]
+}
+
+/// Evaluates the formula at every position, returning a vector of length
+/// `trace.len() + 1`; index `i` is the truth value of the suffix starting
+/// at `i`, and the final entry is the boundary (empty-suffix) value.
+pub fn eval(trace: &Trace, phi: &Ltl) -> Vec<bool> {
+    let n = trace.len();
+    match phi {
+        Ltl::True => vec![true; n + 1],
+        Ltl::False => vec![false; n + 1],
+        Ltl::Atom(a) => {
+            let mut out: Vec<bool> = trace
+                .iter()
+                .map(|step| a.holds(step.props, step.acts))
+                .collect();
+            out.push(false); // boundary: no step to witness the atom
+            out
+        }
+        Ltl::Not(inner) => eval(trace, inner).into_iter().map(|b| !b).collect(),
+        Ltl::And(l, r) => {
+            let (lv, rv) = (eval(trace, l), eval(trace, r));
+            lv.into_iter().zip(rv).map(|(a, b)| a && b).collect()
+        }
+        Ltl::Or(l, r) => {
+            let (lv, rv) = (eval(trace, l), eval(trace, r));
+            lv.into_iter().zip(rv).map(|(a, b)| a || b).collect()
+        }
+        Ltl::Next(inner) => {
+            let iv = eval(trace, inner);
+            // Strong next: false at the boundary and at the last position
+            // when no successor exists.
+            let mut out: Vec<bool> = (0..n).map(|i| i + 1 < n && iv[i + 1]).collect();
+            out.push(false);
+            out
+        }
+        Ltl::Until(l, r) => {
+            let (lv, rv) = (eval(trace, l), eval(trace, r));
+            let mut out = vec![false; n + 1];
+            for i in (0..n).rev() {
+                out[i] = rv[i] || (lv[i] && out[i + 1]);
+            }
+            out
+        }
+        Ltl::Release(l, r) => {
+            let (lv, rv) = (eval(trace, l), eval(trace, r));
+            let mut out = vec![true; n + 1];
+            for i in (0..n).rev() {
+                out[i] = rv[i] && (lv[i] || out[i + 1]);
+            }
+            out
+        }
+    }
+}
+
+/// Fraction of traces satisfying `phi` — the paper's `P_Φ`.
+///
+/// Returns `1.0` for an empty trace collection (vacuous).
+pub fn satisfaction_rate<'a>(traces: impl IntoIterator<Item = &'a Trace>, phi: &Ltl) -> f64 {
+    let mut total = 0usize;
+    let mut satisfied = 0usize;
+    for trace in traces {
+        total += 1;
+        if satisfies(trace, phi) {
+            satisfied += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        satisfied as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use autokit::{ActSet, PropSet, Step, Vocab};
+    use proptest::prelude::*;
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        v.add_prop("a").unwrap();
+        v.add_prop("b").unwrap();
+        v.add_act("s").unwrap();
+        v
+    }
+
+    fn trace_of(v: &Vocab, bits: &[u8]) -> Trace {
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        let s = v.act("s").unwrap();
+        bits.iter()
+            .map(|&x| {
+                let mut props = PropSet::empty();
+                if x & 1 != 0 {
+                    props.insert(a);
+                }
+                if x & 2 != 0 {
+                    props.insert(b);
+                }
+                let mut acts = ActSet::empty();
+                if x & 4 != 0 {
+                    acts.insert(s);
+                }
+                Step::new(props, acts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn atoms_and_boolean_ops() {
+        let v = vocab();
+        let t = trace_of(&v, &[1, 2]);
+        assert!(satisfies(&t, &parse("a", &v).unwrap()));
+        assert!(!satisfies(&t, &parse("b", &v).unwrap()));
+        assert!(satisfies(&t, &parse("a & !b", &v).unwrap()));
+        assert!(satisfies(&t, &parse("a | b", &v).unwrap()));
+    }
+
+    #[test]
+    fn strong_next_at_end() {
+        let v = vocab();
+        let t = trace_of(&v, &[1]);
+        // X anything is false at the last position.
+        assert!(!satisfies(&t, &parse("X a", &v).unwrap()));
+        assert!(!satisfies(&t, &parse("X true", &v).unwrap()));
+        let t2 = trace_of(&v, &[0, 1]);
+        assert!(satisfies(&t2, &parse("X a", &v).unwrap()));
+    }
+
+    #[test]
+    fn finite_until_requires_witness() {
+        let v = vocab();
+        assert!(satisfies(&trace_of(&v, &[1, 1, 2]), &parse("a U b", &v).unwrap()));
+        // a forever but b never arrives: fails on finite traces.
+        assert!(!satisfies(&trace_of(&v, &[1, 1, 1]), &parse("a U b", &v).unwrap()));
+    }
+
+    #[test]
+    fn globally_and_eventually() {
+        let v = vocab();
+        assert!(satisfies(&trace_of(&v, &[1, 1, 1]), &parse("G a", &v).unwrap()));
+        assert!(!satisfies(&trace_of(&v, &[1, 0, 1]), &parse("G a", &v).unwrap()));
+        assert!(satisfies(&trace_of(&v, &[0, 0, 2]), &parse("F b", &v).unwrap()));
+        assert!(!satisfies(&trace_of(&v, &[0, 0, 0]), &parse("F b", &v).unwrap()));
+    }
+
+    #[test]
+    fn release_weak_at_end() {
+        let v = vocab();
+        // b holds to the end without a ever releasing: satisfied (weak).
+        assert!(satisfies(&trace_of(&v, &[2, 2, 2]), &parse("a R b", &v).unwrap()));
+        assert!(satisfies(&trace_of(&v, &[2, 3]), &parse("a R b", &v).unwrap()));
+        assert!(!satisfies(&trace_of(&v, &[2, 0]), &parse("a R b", &v).unwrap()));
+    }
+
+    #[test]
+    fn empty_trace_boundary_values() {
+        let v = vocab();
+        let t = Trace::new();
+        assert!(satisfies(&t, &parse("true", &v).unwrap()));
+        assert!(satisfies(&t, &parse("G a", &v).unwrap())); // vacuous
+        assert!(!satisfies(&t, &parse("F a", &v).unwrap()));
+        assert!(!satisfies(&t, &parse("a", &v).unwrap()));
+    }
+
+    #[test]
+    fn satisfaction_rate_counts() {
+        let v = vocab();
+        let phi = parse("F b", &v).unwrap();
+        let traces = [
+            trace_of(&v, &[0, 2]),
+            trace_of(&v, &[0, 0]),
+            trace_of(&v, &[2]),
+            trace_of(&v, &[1]),
+        ];
+        let rate = satisfaction_rate(traces.iter(), &phi);
+        assert!((rate - 0.5).abs() < 1e-12);
+        assert_eq!(satisfaction_rate([], &phi), 1.0);
+    }
+
+    proptest! {
+        /// ¬ is a complement at every position.
+        #[test]
+        fn negation_complements(bits in proptest::collection::vec(0u8..8, 0..12)) {
+            let v = vocab();
+            let t = trace_of(&v, &bits);
+            for src in ["a", "X b", "a U b", "G a", "F (a & b)", "a R b"] {
+                let phi = parse(src, &v).unwrap();
+                let neg = Ltl::not(phi.clone());
+                let pv = eval(&t, &phi);
+                let nv = eval(&t, &neg);
+                for i in 0..pv.len() {
+                    prop_assert_eq!(pv[i], !nv[i]);
+                }
+            }
+        }
+
+        /// `G a` on finite traces equals "a at every position".
+        #[test]
+        fn globally_matches_all(bits in proptest::collection::vec(0u8..8, 0..12)) {
+            let v = vocab();
+            let t = trace_of(&v, &bits);
+            let phi = parse("G a", &v).unwrap();
+            let expected = bits.iter().all(|&x| x & 1 != 0);
+            prop_assert_eq!(satisfies(&t, &phi), expected);
+        }
+
+        /// Until/Release duality holds pointwise on finite traces.
+        #[test]
+        fn until_release_duality(bits in proptest::collection::vec(0u8..8, 0..12)) {
+            let v = vocab();
+            let t = trace_of(&v, &bits);
+            let ur = parse("!(a U b)", &v).unwrap();
+            let rl = parse("(!a) R (!b)", &v).unwrap();
+            prop_assert_eq!(eval(&t, &ur), eval(&t, &rl));
+        }
+    }
+}

@@ -1,0 +1,1016 @@
+//! Automata-theoretic LTL model checking with justice (fairness) support.
+//!
+//! To decide `M ⊗ C ⊨ Φ` we translate `¬Φ` to a Büchi automaton
+//! ([`crate::Buchi`]), form the synchronous product with the product
+//! automaton's label graph, and search for a reachable **fair accepting
+//! cycle**: a strongly connected component that contains a Büchi-accepting
+//! state *and* a witness for every [`Justice`] assumption. A hit yields a
+//! **lasso counterexample** — a concrete infinite behaviour violating the
+//! specification while honouring all fairness assumptions — reported in
+//! the paper's `(p_i, q_i, c_i ∪ a_i)` trace format (Section 4.2).
+//!
+//! Justice assumptions play the role of NuSMV `FAIRNESS`/`JUSTICE`
+//! declarations: a condition that must hold infinitely often, e.g. *"the
+//! intersection is clear and the light is green infinitely often"*.
+//! Without them, liveness rules like the paper's Φ₇ (*a green light
+//! eventually releases the stop*) are unsatisfiable against a fully
+//! adversarial environment that keeps a car parked in the intersection
+//! forever.
+
+use crate::{Buchi, Ltl};
+use autokit::{
+    ActSet, Controller, DeadlockPolicy, LabelGraph, Product, ProductState, PropSet, Vocab,
+    WorldModel,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of a counterexample trace: the product state and the emitted
+/// label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CexStep {
+    /// The product state `(p, q)` the step originates from.
+    pub state: ProductState,
+    /// Observation component `c = λ_M(p)`.
+    pub props: PropSet,
+    /// Action component `a`.
+    pub acts: ActSet,
+}
+
+/// A lasso-shaped counterexample: a finite stem followed by a cycle that
+/// repeats forever.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// The finite prefix of the violating behaviour.
+    pub stem: Vec<CexStep>,
+    /// The infinitely repeated suffix.
+    pub cycle: Vec<CexStep>,
+}
+
+impl Counterexample {
+    /// Renders the counterexample with vocabulary names, NuSMV-style.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> CexDisplay<'a> {
+        CexDisplay { cex: self, vocab }
+    }
+
+    /// The labels of the stem as `(props, acts)` pairs.
+    pub fn stem_labels(&self) -> Vec<(PropSet, ActSet)> {
+        self.stem.iter().map(|s| (s.props, s.acts)).collect()
+    }
+
+    /// The labels of the cycle as `(props, acts)` pairs.
+    pub fn cycle_labels(&self) -> Vec<(PropSet, ActSet)> {
+        self.cycle.iter().map(|s| (s.props, s.acts)).collect()
+    }
+}
+
+/// Helper returned by [`Counterexample::display`].
+#[derive(Debug)]
+pub struct CexDisplay<'a> {
+    cex: &'a Counterexample,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for CexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- counterexample (lasso)")?;
+        for (i, step) in self.cex.stem.iter().enumerate() {
+            writeln!(
+                f,
+                "   {i:3}: (p{}, q{})  {{{}}} ∪ {{{}}}",
+                step.state.model,
+                step.state.ctrl,
+                self.vocab.display_props(step.props),
+                self.vocab.display_acts(step.acts)
+            )?;
+        }
+        writeln!(f, "   -- loop starts here --")?;
+        for (i, step) in self.cex.cycle.iter().enumerate() {
+            writeln!(
+                f,
+                "   {:3}: (p{}, q{})  {{{}}} ∪ {{{}}}",
+                self.cex.stem.len() + i,
+                step.state.model,
+                step.state.ctrl,
+                self.vocab.display_props(step.props),
+                self.vocab.display_acts(step.acts)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A justice (weak fairness) assumption: a Boolean condition over one step
+/// label that must hold **infinitely often** along every behaviour
+/// considered during verification.
+///
+/// Mirrors NuSMV's `JUSTICE` declarations. The condition must be purely
+/// propositional — temporal operators are rejected.
+///
+/// # Example
+///
+/// ```
+/// use autokit::presets::DrivingDomain;
+/// use ltlcheck::{Justice, Ltl};
+///
+/// let d = DrivingDomain::new();
+/// let clear = Justice::new(
+///     "intersection clears",
+///     Ltl::and(
+///         Ltl::not(Ltl::prop(d.car_left)),
+///         Ltl::not(Ltl::prop(d.ped_right)),
+///     ),
+/// )?;
+/// assert_eq!(clear.name(), "intersection clears");
+/// # Ok::<(), ltlcheck::NonPropositionalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Justice {
+    name: String,
+    condition: Ltl,
+}
+
+/// Error returned by [`Justice::new`] when the condition contains temporal
+/// operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonPropositionalError;
+
+impl fmt::Display for NonPropositionalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "justice conditions must be propositional (no temporal operators)")
+    }
+}
+
+impl std::error::Error for NonPropositionalError {}
+
+fn is_propositional(phi: &Ltl) -> bool {
+    match phi {
+        Ltl::True | Ltl::False | Ltl::Atom(_) => true,
+        Ltl::Not(inner) => is_propositional(inner),
+        Ltl::And(l, r) | Ltl::Or(l, r) => is_propositional(l) && is_propositional(r),
+        Ltl::Next(_) | Ltl::Until(_, _) | Ltl::Release(_, _) => false,
+    }
+}
+
+fn eval_bool(phi: &Ltl, props: PropSet, acts: ActSet) -> bool {
+    match phi {
+        Ltl::True => true,
+        Ltl::False => false,
+        Ltl::Atom(a) => a.holds(props, acts),
+        Ltl::Not(inner) => !eval_bool(inner, props, acts),
+        Ltl::And(l, r) => eval_bool(l, props, acts) && eval_bool(r, props, acts),
+        Ltl::Or(l, r) => eval_bool(l, props, acts) || eval_bool(r, props, acts),
+        _ => unreachable!("validated propositional"),
+    }
+}
+
+impl Justice {
+    /// Creates a justice assumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonPropositionalError`] if `condition` contains temporal
+    /// operators.
+    pub fn new(name: impl Into<String>, condition: Ltl) -> Result<Justice, NonPropositionalError> {
+        if !is_propositional(&condition) {
+            return Err(NonPropositionalError);
+        }
+        Ok(Justice {
+            name: name.into(),
+            condition,
+        })
+    }
+
+    /// The assumption's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The propositional condition.
+    pub fn condition(&self) -> &Ltl {
+        &self.condition
+    }
+
+    /// Evaluates the condition on one step label.
+    pub fn holds(&self, props: PropSet, acts: ActSet) -> bool {
+        eval_bool(&self.condition, props, acts)
+    }
+}
+
+/// The outcome of checking one specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Every (fair) behaviour satisfies the specification.
+    Holds,
+    /// Some fair behaviour violates it; the witness is attached.
+    Fails(Counterexample),
+}
+
+impl Verdict {
+    /// `true` iff the specification holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+}
+
+/// The outcome of verifying a named specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecResult {
+    /// Specification name (e.g. `"phi_5"`).
+    pub name: String,
+    /// The verdict, with counterexample on failure.
+    pub verdict: Verdict,
+}
+
+/// Aggregate result of verifying a controller against a specification
+/// suite — the paper's per-controller feedback signal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Per-specification outcomes, in input order.
+    pub results: Vec<SpecResult>,
+}
+
+impl VerificationReport {
+    /// Number of satisfied specifications — the quantity the paper ranks
+    /// responses by.
+    pub fn num_satisfied(&self) -> usize {
+        self.results.iter().filter(|r| r.verdict.holds()).count()
+    }
+
+    /// Fraction of satisfied specifications in `[0, 1]`.
+    pub fn fraction_satisfied(&self) -> f64 {
+        if self.results.is_empty() {
+            return 1.0;
+        }
+        self.num_satisfied() as f64 / self.results.len() as f64
+    }
+
+    /// Names of the failed specifications.
+    pub fn failed(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|r| !r.verdict.holds())
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+}
+
+/// Checks a state-labeled graph against an LTL formula (no fairness).
+///
+/// Returns [`Verdict::Holds`] iff **every** infinite path of `graph`
+/// starting from an initial node satisfies `phi`.
+pub fn check_graph(graph: &LabelGraph, phi: &Ltl) -> Verdict {
+    check_graph_fair(graph, phi, &[])
+}
+
+/// Checks a state-labeled graph against an LTL formula under justice
+/// assumptions: only paths along which every justice condition holds
+/// infinitely often are considered.
+pub fn check_graph_fair(graph: &LabelGraph, phi: &Ltl, justice: &[Justice]) -> Verdict {
+    let neg = Ltl::not(phi.clone());
+    let buchi = Buchi::from_ltl(&neg);
+    match find_fair_lasso(graph, &buchi, justice) {
+        None => Verdict::Holds,
+        Some(cex) => Verdict::Fails(cex),
+    }
+}
+
+/// Verifies `model ⊗ ctrl ⊨ phi` for all possible initial states, with the
+/// default [`DeadlockPolicy::Stutter`] and no fairness.
+///
+/// This is the paper's Equation 1 — the core feedback primitive of DPO-AF.
+pub fn verify(model: &WorldModel, ctrl: &Controller, phi: &Ltl) -> Verdict {
+    let product = Product::build(model, ctrl);
+    let graph = product.label_graph(DeadlockPolicy::Stutter);
+    check_graph(&graph, phi)
+}
+
+/// Verifies `model ⊗ ctrl ⊨ phi` under justice assumptions.
+pub fn verify_fair(
+    model: &WorldModel,
+    ctrl: &Controller,
+    phi: &Ltl,
+    justice: &[Justice],
+) -> Verdict {
+    let product = Product::build(model, ctrl);
+    let graph = product.label_graph(DeadlockPolicy::Stutter);
+    check_graph_fair(&graph, phi, justice)
+}
+
+/// Verifies a controller against a suite of named specifications, reusing
+/// one product construction.
+pub fn verify_all<'a>(
+    model: &WorldModel,
+    ctrl: &Controller,
+    specs: impl IntoIterator<Item = (&'a str, &'a Ltl)>,
+) -> VerificationReport {
+    verify_all_fair(model, ctrl, specs, &[])
+}
+
+/// Verifies a controller against a suite of named specifications under
+/// justice assumptions, reusing one product construction.
+pub fn verify_all_fair<'a>(
+    model: &WorldModel,
+    ctrl: &Controller,
+    specs: impl IntoIterator<Item = (&'a str, &'a Ltl)>,
+    justice: &[Justice],
+) -> VerificationReport {
+    let product = Product::build(model, ctrl);
+    let graph = product.label_graph(DeadlockPolicy::Stutter);
+    let results = specs
+        .into_iter()
+        .map(|(name, phi)| SpecResult {
+            name: name.to_owned(),
+            verdict: check_graph_fair(&graph, phi, justice),
+        })
+        .collect();
+    VerificationReport { results }
+}
+
+/// Product state for emptiness checking: (graph node, Büchi state).
+type PState = (u32, u32);
+
+/// Searches `graph ⊗ buchi` for a reachable SCC that contains a
+/// Büchi-accepting state and a witness of every justice condition —
+/// generalized Büchi emptiness via SCC decomposition.
+fn find_fair_lasso(
+    graph: &LabelGraph,
+    buchi: &Buchi,
+    justice: &[Justice],
+) -> Option<Counterexample> {
+    let nb = buchi.num_states();
+    if nb == 0 {
+        return None;
+    }
+
+    let matches = |g: u32, b: u32| -> bool {
+        let (props, acts) = graph.labels[g as usize];
+        buchi.states()[b as usize].matches(props, acts)
+    };
+
+    // --- reachable product exploration (BFS, with parents for stems) ----
+    let mut index: std::collections::HashMap<PState, u32> = std::collections::HashMap::new();
+    let mut states: Vec<PState> = Vec::new();
+    let mut parents: Vec<Option<u32>> = Vec::new();
+    let mut succs: Vec<Vec<u32>> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+
+    for &g in &graph.initial {
+        for &b in buchi.initial() {
+            let s = (g as u32, b as u32);
+            if matches(s.0, s.1) && !index.contains_key(&s) {
+                let id = states.len() as u32;
+                index.insert(s, id);
+                states.push(s);
+                parents.push(None);
+                succs.push(Vec::new());
+                queue.push_back(id);
+            }
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        let (g, b) = states[id as usize];
+        let mut out = Vec::new();
+        for &g2 in &graph.succs[g as usize] {
+            for &b2 in &buchi.states()[b as usize].succs {
+                let t = (g2 as u32, b2 as u32);
+                if !matches(t.0, t.1) {
+                    continue;
+                }
+                let tid = match index.get(&t) {
+                    Some(&tid) => tid,
+                    None => {
+                        let tid = states.len() as u32;
+                        index.insert(t, tid);
+                        states.push(t);
+                        parents.push(Some(id));
+                        succs.push(Vec::new());
+                        queue.push_back(tid);
+                        tid
+                    }
+                };
+                out.push(tid);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        succs[id as usize] = out;
+    }
+
+    // --- iterative Tarjan SCC ------------------------------------------
+    let n = states.len();
+    let mut comp = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut disc = vec![u32::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_disc = 0u32;
+    let mut next_comp = 0u32;
+    // Call stack: (node, successor cursor).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        disc[root as usize] = next_disc;
+        low[root as usize] = next_disc;
+        next_disc += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            if *cursor < succs[v as usize].len() {
+                let w = succs[v as usize][*cursor];
+                *cursor += 1;
+                if disc[w as usize] == u32::MAX {
+                    disc[w as usize] = next_disc;
+                    low[w as usize] = next_disc;
+                    next_disc += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+                continue;
+            }
+            call.pop();
+            if let Some(&(parent, _)) = call.last() {
+                low[parent as usize] = low[parent as usize].min(low[v as usize]);
+            }
+            if low[v as usize] == disc[v as usize] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack non-empty");
+                    on_stack[w as usize] = false;
+                    comp[w as usize] = next_comp;
+                    if w == v {
+                        break;
+                    }
+                }
+                next_comp += 1;
+            }
+        }
+    }
+
+    // --- fair acceptance per SCC ---------------------------------------
+    let nf = justice.len();
+    let num_comps = next_comp as usize;
+    // has_edge: SCC contains an internal edge (non-trivial cycle).
+    let mut has_edge = vec![false; num_comps];
+    // accept[c]: SCC contains a Büchi-accepting state.
+    let mut accept = vec![false; num_comps];
+    // fair[c][j]: SCC contains a state whose label satisfies justice j.
+    let mut fair = vec![vec![false; nf]; num_comps];
+    for v in 0..n {
+        let c = comp[v] as usize;
+        let (g, b) = states[v];
+        if buchi.states()[b as usize].accepting {
+            accept[c] = true;
+        }
+        let (props, acts) = graph.labels[g as usize];
+        for (j, cond) in justice.iter().enumerate() {
+            if cond.holds(props, acts) {
+                fair[c][j] = true;
+            }
+        }
+        for &w in &succs[v] {
+            if comp[w as usize] as usize == c {
+                has_edge[c] = true;
+            }
+        }
+    }
+
+    let target_comp = (0..num_comps).find(|&c| {
+        has_edge[c] && accept[c] && (0..nf).all(|j| fair[c][j])
+    })?;
+
+    // --- counterexample extraction --------------------------------------
+    // Entry: any state of the SCC discovered earliest in the BFS.
+    let entry = (0..n as u32)
+        .find(|&v| comp[v as usize] as usize == target_comp)
+        .expect("component non-empty");
+
+    // Stem: BFS parent chain from an initial state to `entry`.
+    let mut stem_ids = vec![entry];
+    let mut cur = entry;
+    while let Some(p) = parents[cur as usize] {
+        stem_ids.push(p);
+        cur = p;
+    }
+    stem_ids.reverse();
+
+    // Cycle: inside the SCC, walk entry → accepting witness → each justice
+    // witness → back to entry, via BFS restricted to the SCC.
+    let in_comp = |v: u32| comp[v as usize] as usize == target_comp;
+    let bfs_path = |from: u32, to: u32, require_step: bool| -> Vec<u32> {
+        // Path of nodes after `from` ending at `to` (possibly empty if
+        // from == to and !require_step).
+        if from == to && !require_step {
+            return Vec::new();
+        }
+        let mut par: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut q = std::collections::VecDeque::new();
+        // Seed with successors of `from` so a self-loop is found.
+        for &w in &succs[from as usize] {
+            if in_comp(w) && !par.contains_key(&w) {
+                par.insert(w, from);
+                q.push_back(w);
+            }
+        }
+        while let Some(v) = q.pop_front() {
+            if v == to {
+                break;
+            }
+            for &w in &succs[v as usize] {
+                if in_comp(w) && !par.contains_key(&w) {
+                    par.insert(w, v);
+                    q.push_back(w);
+                }
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = *par.get(&cur).expect("target reachable within SCC");
+            if cur != from {
+                path.push(cur);
+            }
+        }
+        path.reverse();
+        path
+    };
+
+    // Witness list: one accepting state, one per justice condition.
+    let mut waypoints: Vec<u32> = Vec::new();
+    let acc_witness = (0..n as u32)
+        .find(|&v| in_comp(v) && buchi.states()[states[v as usize].1 as usize].accepting)
+        .expect("accepting state in SCC");
+    waypoints.push(acc_witness);
+    for j in justice {
+        let w = (0..n as u32)
+            .find(|&v| {
+                in_comp(v) && {
+                    let (g, _) = states[v as usize];
+                    let (props, acts) = graph.labels[g as usize];
+                    j.holds(props, acts)
+                }
+            })
+            .expect("justice witness in SCC");
+        waypoints.push(w);
+    }
+
+    let mut cycle_ids: Vec<u32> = Vec::new();
+    let mut pos = entry;
+    for &wp in &waypoints {
+        let seg = bfs_path(pos, wp, false);
+        cycle_ids.extend(seg);
+        pos = wp;
+    }
+    // Close the loop (require at least one step overall).
+    let closing = bfs_path(pos, entry, cycle_ids.is_empty());
+    cycle_ids.extend(closing);
+    // `cycle_ids` holds the states *after* entry around the loop; the cycle
+    // itself starts at entry.
+    let mut full_cycle = vec![entry];
+    full_cycle.extend(cycle_ids.iter().copied().take(cycle_ids.len().saturating_sub(1)));
+    // The final element of cycle_ids is `entry` again (dropped above); if
+    // the loop was a pure self-loop, full_cycle is just [entry].
+
+    let to_step = |v: u32| -> CexStep {
+        let (g, _) = states[v as usize];
+        let (props, acts) = graph.labels[g as usize];
+        CexStep {
+            state: graph.origin[g as usize],
+            props,
+            acts,
+        }
+    };
+    let stem: Vec<CexStep> = stem_ids[..stem_ids.len() - 1]
+        .iter()
+        .map(|&v| to_step(v))
+        .collect();
+    let cycle: Vec<CexStep> = full_cycle.into_iter().map(to_step).collect();
+    Some(Counterexample { stem, cycle })
+}
+
+/// Evaluates an LTL formula on the ultimately periodic word
+/// `prefix · cycleᵚ` with exact infinite-word semantics.
+///
+/// Used to confirm counterexamples (every [`Counterexample`] returned by
+/// [`check_graph`] satisfies the *negation* of its specification) and as a
+/// ground-truth oracle in the crate's property tests.
+///
+/// # Panics
+///
+/// Panics if `cycle` is empty — an ultimately periodic word needs a
+/// non-empty repeating part.
+pub fn holds_on_lasso(phi: &Ltl, prefix: &[(PropSet, ActSet)], cycle: &[(PropSet, ActSet)]) -> bool {
+    assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+    let p = prefix.len();
+    let n = p + cycle.len();
+    let succ = |i: usize| -> usize {
+        if i + 1 < n {
+            i + 1
+        } else {
+            p
+        }
+    };
+    let label = |i: usize| -> (PropSet, ActSet) {
+        if i < p {
+            prefix[i]
+        } else {
+            cycle[i - p]
+        }
+    };
+
+    fn eval(
+        phi: &Ltl,
+        n: usize,
+        succ: &dyn Fn(usize) -> usize,
+        label: &dyn Fn(usize) -> (PropSet, ActSet),
+    ) -> Vec<bool> {
+        match phi {
+            Ltl::True => vec![true; n],
+            Ltl::False => vec![false; n],
+            Ltl::Atom(a) => (0..n)
+                .map(|i| {
+                    let (props, acts) = label(i);
+                    a.holds(props, acts)
+                })
+                .collect(),
+            Ltl::Not(inner) => eval(inner, n, succ, label).into_iter().map(|b| !b).collect(),
+            Ltl::And(l, r) => {
+                let (lv, rv) = (eval(l, n, succ, label), eval(r, n, succ, label));
+                lv.into_iter().zip(rv).map(|(a, b)| a && b).collect()
+            }
+            Ltl::Or(l, r) => {
+                let (lv, rv) = (eval(l, n, succ, label), eval(r, n, succ, label));
+                lv.into_iter().zip(rv).map(|(a, b)| a || b).collect()
+            }
+            Ltl::Next(inner) => {
+                let iv = eval(inner, n, succ, label);
+                (0..n).map(|i| iv[succ(i)]).collect()
+            }
+            Ltl::Until(l, r) => {
+                let (lv, rv) = (eval(l, n, succ, label), eval(r, n, succ, label));
+                // Least fixpoint of val[i] = rv[i] ∨ (lv[i] ∧ val[succ(i)]).
+                let mut val = vec![false; n];
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for i in (0..n).rev() {
+                        let v = rv[i] || (lv[i] && val[succ(i)]);
+                        if v != val[i] {
+                            val[i] = v;
+                            changed = true;
+                        }
+                    }
+                }
+                val
+            }
+            Ltl::Release(l, r) => {
+                let (lv, rv) = (eval(l, n, succ, label), eval(r, n, succ, label));
+                // Greatest fixpoint of val[i] = rv[i] ∧ (lv[i] ∨ val[succ(i)]).
+                let mut val = vec![true; n];
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for i in (0..n).rev() {
+                        let v = rv[i] && (lv[i] || val[succ(i)]);
+                        if v != val[i] {
+                            val[i] = v;
+                            changed = true;
+                        }
+                    }
+                }
+                val
+            }
+        }
+    }
+
+    eval(phi, n, &succ, &label)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use autokit::{ControllerBuilder, Guard};
+    use proptest::prelude::*;
+
+    fn setup() -> (Vocab, WorldModel) {
+        let mut v = Vocab::new();
+        let green = v.add_prop("green").unwrap();
+        v.add_prop("ped").unwrap();
+        v.add_act("go").unwrap();
+        v.add_act("stop").unwrap();
+        let mut model = WorldModel::new("light");
+        let g = model.add_state(PropSet::singleton(green));
+        let r = model.add_state(PropSet::empty());
+        model.add_transition(g, r);
+        model.add_transition(r, g);
+        model.add_transition(g, g);
+        model.add_transition(r, r);
+        (v, model)
+    }
+
+    fn good_controller(v: &Vocab) -> Controller {
+        let green = v.prop("green").unwrap();
+        let go = v.act("go").unwrap();
+        let stop = v.act("stop").unwrap();
+        ControllerBuilder::new("good", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
+            .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+            .build()
+            .unwrap()
+    }
+
+    fn reckless_controller(v: &Vocab) -> Controller {
+        let go = v.act("go").unwrap();
+        ControllerBuilder::new("reckless", 1)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(go), 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn good_controller_satisfies_safety() {
+        let (v, model) = setup();
+        let phi = parse("G(!green -> !go)", &v).unwrap();
+        assert!(verify(&model, &good_controller(&v), &phi).holds());
+    }
+
+    #[test]
+    fn reckless_controller_violates_safety_with_witness() {
+        let (v, model) = setup();
+        let phi = parse("G(!green -> !go)", &v).unwrap();
+        let verdict = verify(&model, &reckless_controller(&v), &phi);
+        let Verdict::Fails(cex) = verdict else {
+            panic!("expected violation");
+        };
+        // The counterexample must actually violate the property: the word
+        // it denotes satisfies ¬φ.
+        let neg = Ltl::not(phi);
+        assert!(holds_on_lasso(
+            &neg,
+            &cex.stem_labels(),
+            &cex.cycle_labels()
+        ));
+        // And some step shows `go` while `¬green`.
+        let go = v.act("go").unwrap();
+        let green = v.prop("green").unwrap();
+        let witness = cex
+            .stem
+            .iter()
+            .chain(&cex.cycle)
+            .any(|s| s.acts.contains(go) && !s.props.contains(green));
+        assert!(witness, "{}", cex.display(&v));
+    }
+
+    #[test]
+    fn liveness_holds_for_good_controller() {
+        let (v, model) = setup();
+        // Whenever green occurs, the controller eventually goes.
+        let phi = parse("G(green -> go)", &v).unwrap();
+        assert!(verify(&model, &good_controller(&v), &phi).holds());
+    }
+
+    #[test]
+    fn liveness_fails_when_never_acting() {
+        let (v, model) = setup();
+        let stop = v.act("stop").unwrap();
+        let idle = ControllerBuilder::new("idle", 1)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(stop), 0)
+            .build()
+            .unwrap();
+        let phi = parse("F go", &v).unwrap();
+        assert!(!verify(&model, &idle, &phi).holds());
+    }
+
+    #[test]
+    fn justice_rejects_temporal_conditions() {
+        let (v, _) = setup();
+        let bad = parse("F green", &v).unwrap();
+        assert!(Justice::new("bad", bad).is_err());
+        let good = parse("green & !ped", &v).unwrap();
+        assert!(Justice::new("good", good).is_ok());
+    }
+
+    #[test]
+    fn fairness_exempts_unfair_paths() {
+        let (v, model) = setup();
+        let green = v.prop("green").unwrap();
+        let go = v.act("go").unwrap();
+        let stop = v.act("stop").unwrap();
+        // A controller that waits for green before going, then loops.
+        let waiter = ControllerBuilder::new("waiter", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
+            .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+            .build()
+            .unwrap();
+        // Without fairness, the adversary keeps the light red forever and
+        // `F go` fails.
+        let phi = parse("F go", &v).unwrap();
+        assert!(!verify(&model, &waiter, &phi).holds());
+        // Under "the light is green infinitely often", it holds.
+        let justice = [Justice::new("green io", parse("green", &v).unwrap()).unwrap()];
+        assert!(verify_fair(&model, &waiter, &phi, &justice).holds());
+    }
+
+    #[test]
+    fn fair_counterexamples_visit_justice_witnesses() {
+        let (v, model) = setup();
+        let ctrl = reckless_controller(&v);
+        // Violated even under fairness (safety violation).
+        let phi = parse("G(!green -> !go)", &v).unwrap();
+        let justice = [Justice::new("green io", parse("green", &v).unwrap()).unwrap()];
+        let Verdict::Fails(cex) = verify_fair(&model, &ctrl, &phi, &justice) else {
+            panic!("expected violation");
+        };
+        // The cycle must contain a step where the justice condition holds.
+        let green = v.prop("green").unwrap();
+        assert!(cex.cycle.iter().any(|s| s.props.contains(green)));
+        // And the lasso still violates the formula.
+        assert!(holds_on_lasso(
+            &Ltl::not(phi),
+            &cex.stem_labels(),
+            &cex.cycle_labels()
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_fairness_makes_everything_hold() {
+        let (v, model) = setup();
+        let ctrl = reckless_controller(&v);
+        let phi = parse("false", &v).unwrap();
+        // `green & ped` never holds in this model.
+        let justice =
+            [Justice::new("impossible", parse("green & ped", &v).unwrap()).unwrap()];
+        assert!(verify_fair(&model, &ctrl, &phi, &justice).holds());
+    }
+
+    #[test]
+    fn verify_all_counts_satisfied() {
+        let (v, model) = setup();
+        let safe = parse("G(!green -> !go)", &v).unwrap();
+        let live = parse("G F (go | stop)", &v).unwrap();
+        let wrong = parse("G go", &v).unwrap();
+        let report = verify_all(
+            &model,
+            &good_controller(&v),
+            [("safe", &safe), ("live", &live), ("wrong", &wrong)],
+        );
+        assert_eq!(report.num_satisfied(), 2);
+        assert_eq!(report.failed(), vec!["wrong"]);
+        assert!((report.fraction_satisfied() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lasso_oracle_basics() {
+        let (v, _) = setup();
+        let green = v.prop("green").unwrap();
+        let g = (PropSet::singleton(green), ActSet::empty());
+        let none = (PropSet::empty(), ActSet::empty());
+        let phi = parse("G F green", &v).unwrap();
+        assert!(holds_on_lasso(&phi, &[], &[none, g]));
+        assert!(!holds_on_lasso(&phi, &[g, g], &[none]));
+        let phi = parse("green U !green", &v).unwrap();
+        assert!(holds_on_lasso(&phi, &[g, g, none], &[g]));
+        assert!(!holds_on_lasso(&phi, &[], &[g]));
+    }
+
+    /// Generator for random LTL formulas over two props and one action of
+    /// the `setup()` vocabulary (ids are stable by insertion order).
+    fn arb_ltl() -> impl Strategy<Value = Ltl> {
+        let (v, _) = setup();
+        let a = v.prop("green").unwrap();
+        let b = v.prop("ped").unwrap();
+        let s = v.act("go").unwrap();
+        let leaf = prop_oneof![
+            Just(Ltl::True),
+            Just(Ltl::False),
+            Just(Ltl::prop(a)),
+            Just(Ltl::prop(b)),
+            Just(Ltl::act(s)),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Ltl::not),
+                inner.clone().prop_map(Ltl::next),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::and(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::or(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::until(l, r)),
+                (inner.clone(), inner).prop_map(|(l, r)| Ltl::release(l, r)),
+            ]
+        })
+    }
+
+    fn arb_word() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+        (
+            proptest::collection::vec(0u8..8, 0..4),
+            proptest::collection::vec(0u8..8, 1..4),
+        )
+    }
+
+    fn decode(word: &[u8], v: &Vocab) -> Vec<(PropSet, ActSet)> {
+        let a = v.prop("green").unwrap();
+        let b = v.prop("ped").unwrap();
+        let s = v.act("go").unwrap();
+        word.iter()
+            .map(|&bits| {
+                let mut props = PropSet::empty();
+                if bits & 1 != 0 {
+                    props.insert(a);
+                }
+                if bits & 2 != 0 {
+                    props.insert(b);
+                }
+                let mut acts = ActSet::empty();
+                if bits & 4 != 0 {
+                    acts.insert(s);
+                }
+                (props, acts)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The Büchi translation agrees with direct LTL evaluation on
+        /// random lasso words: a single-path graph satisfies φ iff the
+        /// word does.
+        #[test]
+        fn buchi_agrees_with_lasso_oracle(
+            (prefix_raw, cycle_raw) in arb_word(),
+            phi in arb_ltl(),
+        ) {
+            let (v, _) = setup();
+            let prefix = decode(&prefix_raw, &v);
+            let cycle = decode(&cycle_raw, &v);
+
+            // Build a single-lasso LabelGraph.
+            let n = prefix.len() + cycle.len();
+            let mut labels = Vec::new();
+            let mut succs = vec![Vec::new(); n];
+            for (i, &l) in prefix.iter().chain(cycle.iter()).enumerate() {
+                labels.push(l);
+                if i + 1 < n {
+                    succs[i].push(i + 1);
+                } else {
+                    succs[i].push(prefix.len());
+                }
+            }
+            let graph = LabelGraph {
+                labels,
+                origin: vec![ProductState { model: 0, ctrl: 0 }; n],
+                succs,
+                initial: vec![0],
+            };
+            let expected = holds_on_lasso(&phi, &prefix, &cycle);
+            let got = check_graph(&graph, &phi).holds();
+            prop_assert_eq!(got, expected, "phi = {:?}", phi);
+        }
+
+        /// Counterexamples are sound: the reported lasso violates the
+        /// specification per the exact oracle.
+        #[test]
+        fn counterexamples_are_sound(phi in arb_ltl()) {
+            let (v, model) = setup();
+            let ctrl = reckless_controller(&v);
+            if let Verdict::Fails(cex) = verify(&model, &ctrl, &phi) {
+                prop_assert!(!cex.cycle.is_empty());
+                let neg = Ltl::not(phi);
+                prop_assert!(holds_on_lasso(&neg, &cex.stem_labels(), &cex.cycle_labels()));
+            }
+        }
+
+        /// With fairness, counterexample cycles contain a witness of every
+        /// justice condition and still violate the specification.
+        #[test]
+        fn fair_counterexamples_are_sound(phi in arb_ltl()) {
+            let (v, model) = setup();
+            let ctrl = good_controller(&v);
+            let justice = [
+                Justice::new("green io", parse("green", &v).unwrap()).unwrap(),
+                Justice::new("red io", parse("!green", &v).unwrap()).unwrap(),
+            ];
+            if let Verdict::Fails(cex) = verify_fair(&model, &ctrl, &phi, &justice) {
+                prop_assert!(!cex.cycle.is_empty());
+                for j in &justice {
+                    prop_assert!(
+                        cex.cycle.iter().any(|s| j.holds(s.props, s.acts)),
+                        "cycle misses justice witness {}",
+                        j.name()
+                    );
+                }
+                let neg = Ltl::not(phi);
+                prop_assert!(holds_on_lasso(&neg, &cex.stem_labels(), &cex.cycle_labels()));
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! NuSMV module export — mirrors the paper's Appendix D artifacts.
+//!
+//! The paper verifies controllers by compiling them to NuSMV `MODULE`s
+//! with boolean variables for the observations, an enumerated `action`
+//! variable, a `TRANS` relation, and `LTLSPEC` declarations. This module
+//! renders the same artifacts from our in-memory structures so the
+//! reproduction's controllers can be cross-checked with a real NuSMV
+//! installation if one is available. Nothing in this crate *parses* SMV;
+//! export is one-way.
+//!
+//! Two encoding notes relative to Appendix D:
+//!
+//! * Our controllers can emit action *sets*; the export declares one
+//!   boolean `act_*` variable per action instead of a single enum, which
+//!   also matches how the LTL specifications treat actions as atoms.
+//! * The controller's own state is exported as an explicit `q` variable,
+//!   which Appendix D leaves implicit in its hand-written `TRANS` cases.
+
+use crate::{Atom, Ltl};
+use autokit::{Controller, Vocab};
+use std::fmt::Write as _;
+
+/// Converts a vocabulary name to an SMV identifier
+/// (`"car from left"` → `car_from_left`).
+pub fn smv_ident(name: &str) -> String {
+    name.replace([' ', '-'], "_")
+}
+
+/// Renders an LTL formula in NuSMV `LTLSPEC` syntax.
+///
+/// # Example
+///
+/// ```
+/// use autokit::Vocab;
+/// use ltlcheck::{parse, smv};
+///
+/// let mut v = Vocab::new();
+/// v.add_prop("stop sign")?;
+/// v.add_act("stop")?;
+/// let phi = parse("G(\"stop sign\" -> F stop)", &v)?;
+/// assert_eq!(smv::render_ltl(&phi, &v), "G ((!stop_sign) | (F stop))");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_ltl(phi: &Ltl, vocab: &Vocab) -> String {
+    fn atom_name(a: Atom, vocab: &Vocab) -> String {
+        smv_ident(a.name(vocab))
+    }
+    fn go(phi: &Ltl, vocab: &Vocab, out: &mut String) {
+        match phi {
+            Ltl::True => out.push_str("TRUE"),
+            Ltl::False => out.push_str("FALSE"),
+            Ltl::Atom(a) => out.push_str(&atom_name(*a, vocab)),
+            Ltl::Not(inner) => {
+                out.push('!');
+                wrap(inner, vocab, out);
+            }
+            Ltl::And(l, r) => {
+                wrap(l, vocab, out);
+                out.push_str(" & ");
+                wrap(r, vocab, out);
+            }
+            Ltl::Or(l, r) => {
+                wrap(l, vocab, out);
+                out.push_str(" | ");
+                wrap(r, vocab, out);
+            }
+            Ltl::Next(inner) => {
+                out.push_str("X ");
+                wrap(inner, vocab, out);
+            }
+            Ltl::Until(l, r) => {
+                if **l == Ltl::True {
+                    out.push_str("F ");
+                    wrap(r, vocab, out);
+                } else {
+                    wrap(l, vocab, out);
+                    out.push_str(" U ");
+                    wrap(r, vocab, out);
+                }
+            }
+            Ltl::Release(l, r) => {
+                if **l == Ltl::False {
+                    out.push_str("G ");
+                    wrap(r, vocab, out);
+                } else {
+                    // NuSMV uses V for release.
+                    wrap(l, vocab, out);
+                    out.push_str(" V ");
+                    wrap(r, vocab, out);
+                }
+            }
+        }
+    }
+    fn wrap(phi: &Ltl, vocab: &Vocab, out: &mut String) {
+        match phi {
+            Ltl::True | Ltl::False | Ltl::Atom(_) => go(phi, vocab, out),
+            _ => {
+                out.push('(');
+                go(phi, vocab, out);
+                out.push(')');
+            }
+        }
+    }
+    let mut out = String::new();
+    go(phi, vocab, &mut out);
+    out
+}
+
+/// Renders a controller as a NuSMV `MODULE`, with `LTLSPEC` declarations
+/// for the given named specifications.
+pub fn render_module(
+    module_name: &str,
+    ctrl: &Controller,
+    vocab: &Vocab,
+    specs: &[(String, Ltl)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "MODULE {}", smv_ident(module_name));
+    let _ = writeln!(out, "VAR");
+    for p in vocab.props() {
+        let _ = writeln!(out, "  {} : boolean;", smv_ident(vocab.prop_name(p)));
+    }
+    for a in vocab.acts() {
+        let _ = writeln!(out, "  {} : boolean;", smv_ident(vocab.act_name(a)));
+    }
+    let _ = writeln!(out, "  q : 0..{};", ctrl.num_states().saturating_sub(1));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "ASSIGN");
+    let _ = writeln!(out, "  init(q) := {};", ctrl.initial());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "TRANS");
+    let mut disjuncts: Vec<String> = Vec::new();
+    for t in ctrl.transitions() {
+        let mut conj: Vec<String> = vec![format!("q = {}", t.from)];
+        for p in t.guard.pos.iter() {
+            conj.push(smv_ident(vocab.prop_name(p)));
+        }
+        for p in t.guard.neg.iter() {
+            conj.push(format!("!{}", smv_ident(vocab.prop_name(p))));
+        }
+        for a in vocab.acts() {
+            if t.action.contains(a) {
+                conj.push(smv_ident(vocab.act_name(a)));
+            } else {
+                conj.push(format!("!{}", smv_ident(vocab.act_name(a))));
+            }
+        }
+        conj.push(format!("next(q) = {}", t.to));
+        disjuncts.push(format!("  ({})", conj.join(" & ")));
+    }
+    if disjuncts.is_empty() {
+        let _ = writeln!(out, "  TRUE;");
+    } else {
+        let _ = writeln!(out, "{};", disjuncts.join("\n  |\n"));
+    }
+    let _ = writeln!(out);
+    for (name, phi) in specs {
+        let _ = writeln!(
+            out,
+            "LTLSPEC NAME {} := {};",
+            smv_ident(name),
+            render_ltl(phi, vocab)
+        );
+    }
+    out
+}
+
+/// Renders the NuSMV batch script of Appendix D: load the model, then
+/// check each named specification into its own result file.
+pub fn render_check_script(model_file: &str, spec_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("#!NuSMV -source\n");
+    let _ = writeln!(out, "read_model -i {model_file}");
+    out.push_str("go\n");
+    for (i, name) in spec_names.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "check_ltlspec -P \"{}\" -o result{}.txt",
+            smv_ident(name),
+            i + 1
+        );
+    }
+    out.push_str("quit\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use autokit::{ActSet, ControllerBuilder, Guard};
+
+    fn setup() -> (Vocab, Controller) {
+        let mut v = Vocab::new();
+        let green = v.add_prop("green traffic light").unwrap();
+        let car = v.add_prop("car from left").unwrap();
+        let stop = v.add_act("stop").unwrap();
+        let go = v.add_act("go straight").unwrap();
+        let ctrl = ControllerBuilder::new("turn right", 2)
+            .initial(0)
+            .transition(0, Guard::always().requires(green), ActSet::singleton(go), 1)
+            .transition(
+                0,
+                Guard::always().forbids(green).forbids(car),
+                ActSet::singleton(stop),
+                0,
+            )
+            .build()
+            .unwrap();
+        (v, ctrl)
+    }
+
+    #[test]
+    fn identifiers_are_smv_safe() {
+        assert_eq!(smv_ident("car from left"), "car_from_left");
+        assert_eq!(smv_ident("green left-turn light"), "green_left_turn_light");
+    }
+
+    #[test]
+    fn ltl_rendering_matches_nusmv_syntax() {
+        let (v, _) = setup();
+        let phi = parse("G(\"car from left\" -> !\"go straight\")", &v).unwrap();
+        assert_eq!(
+            render_ltl(&phi, &v),
+            "G ((!car_from_left) | (!go_straight))"
+        );
+        let phi = parse("F stop", &v).unwrap();
+        assert_eq!(render_ltl(&phi, &v), "F stop");
+        let phi = parse("stop U \"green traffic light\"", &v).unwrap();
+        assert_eq!(render_ltl(&phi, &v), "stop U green_traffic_light");
+    }
+
+    #[test]
+    fn module_contains_vars_trans_and_specs() {
+        let (v, ctrl) = setup();
+        let phi = parse("G(\"car from left\" -> stop)", &v).unwrap();
+        let text = render_module("turn_right_before_finetune", &ctrl, &v, &[("phi_5".into(), phi)]);
+        assert!(text.contains("MODULE turn_right_before_finetune"));
+        assert!(text.contains("green_traffic_light : boolean;"));
+        assert!(text.contains("q : 0..1;"));
+        assert!(text.contains("init(q) := 0;"));
+        assert!(text.contains("TRANS"));
+        assert!(text.contains("next(q) = 1"));
+        assert!(text.contains("LTLSPEC NAME phi_5 :="));
+        // Every transition constrains every action variable.
+        assert!(text.contains("!stop") || text.contains("stop &"));
+    }
+
+    #[test]
+    fn check_script_lists_all_specs() {
+        let script = render_check_script("right_turn.smv", &["phi_1".into(), "phi_2".into()]);
+        assert!(script.starts_with("#!NuSMV -source"));
+        assert!(script.contains("read_model -i right_turn.smv"));
+        assert!(script.contains("check_ltlspec -P \"phi_1\" -o result1.txt"));
+        assert!(script.contains("check_ltlspec -P \"phi_2\" -o result2.txt"));
+        assert!(script.trim_end().ends_with("quit"));
+    }
+}

@@ -1,0 +1,438 @@
+//! A symbolic (BDD-based) verification backend — the NuSMV-style
+//! counterpart to the explicit-state checker in [`crate::check_graph_fair`].
+//!
+//! The product of the label graph with the Büchi automaton of the negated
+//! specification is encoded over binary state variables; reachability and
+//! the Emerson–Lei fair-cycle computation are symbolic fixpoints over
+//! BDDs instead of explicit graph searches. Both backends decide the same
+//! question, and the test suite cross-checks them — on large,
+//! transition-dense models (the paper's "conservative" world models) the
+//! symbolic backend is the one that scales.
+//!
+//! The symbolic backend returns a yes/no verdict; for counterexample
+//! lassos use the explicit checker.
+
+use crate::{Buchi, Justice, Ltl};
+use autokit::LabelGraph;
+use bdd::{BddManager, Ref};
+
+/// Statistics from a symbolic check, for benchmarking and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolicStats {
+    /// Binary state variables per block (current/next).
+    pub state_bits: u32,
+    /// Live BDD nodes when the check finished.
+    pub bdd_nodes: usize,
+    /// Outer Emerson–Lei iterations until fixpoint.
+    pub el_iterations: usize,
+}
+
+/// Symbolic analogue of [`crate::check_graph_fair`]: returns `true` iff
+/// every justice-fair infinite path of `graph` satisfies `phi`.
+pub fn check_graph_fair_symbolic(graph: &LabelGraph, phi: &Ltl, justice: &[Justice]) -> bool {
+    check_with_stats(graph, phi, justice).0
+}
+
+/// [`check_graph_fair_symbolic`] with statistics.
+pub fn check_with_stats(
+    graph: &LabelGraph,
+    phi: &Ltl,
+    justice: &[Justice],
+) -> (bool, SymbolicStats) {
+    let neg = Ltl::not(phi.clone());
+    let buchi = Buchi::from_ltl(&neg);
+    let ng = graph.num_nodes();
+    let nb = buchi.num_states();
+    if ng == 0 || nb == 0 || graph.initial.is_empty() {
+        return (
+            true,
+            SymbolicStats {
+                state_bits: 0,
+                bdd_nodes: 0,
+                el_iterations: 0,
+            },
+        );
+    }
+
+    let gbits = bits_for(ng);
+    let bbits = bits_for(nb);
+    let state_bits = gbits + bbits;
+    // Variable layout: [0, state_bits) = current, [state_bits, 2·state_bits) = next.
+    let mut m = BddManager::new(2 * state_bits);
+
+    let current_vars: Vec<u32> = (0..state_bits).collect();
+    let next_vars: Vec<u32> = (state_bits..2 * state_bits).collect();
+
+    // Encoders over the *current* block; shift for the next block.
+    let enc_g = |m: &mut BddManager, g: usize| encode(m, g as u32, 0, gbits);
+    let enc_b = |m: &mut BddManager, b: usize| encode(m, b as u32, gbits, bbits);
+
+    // Product state predicate: graph node g with Büchi state b, where b's
+    // literal constraints match g's label.
+    let matches = |g: usize, b: usize| -> bool {
+        let (props, acts) = graph.labels[g];
+        buchi.states()[b].matches(props, acts)
+    };
+
+    // Valid state space (label-consistent pairs).
+    let mut valid = m.constant(false);
+    for g in 0..ng {
+        let eg = enc_g(&mut m, g);
+        let mut ok_b = m.constant(false);
+        for b in 0..nb {
+            if matches(g, b) {
+                let eb = enc_b(&mut m, b);
+                ok_b = m.or(ok_b, eb);
+            }
+        }
+        let both = m.and(eg, ok_b);
+        valid = m.or(valid, both);
+    }
+
+    // Graph edge relation over (current g, next g).
+    let mut eg_rel = m.constant(false);
+    for g in 0..ng {
+        let src = enc_g(&mut m, g);
+        let mut targets = m.constant(false);
+        for &g2 in &graph.succs[g] {
+            let t = enc_g(&mut m, g2);
+            targets = m.or(targets, t);
+        }
+        let t_next = m.rename_shift(targets, i64::from(state_bits));
+        let edge = m.and(src, t_next);
+        eg_rel = m.or(eg_rel, edge);
+    }
+
+    // Büchi edge relation over (current b, next b).
+    let mut eb_rel = m.constant(false);
+    for (b, st) in buchi.states().iter().enumerate() {
+        let src = enc_b(&mut m, b);
+        let mut targets = m.constant(false);
+        for &b2 in &st.succs {
+            let t = enc_b(&mut m, b2);
+            targets = m.or(targets, t);
+        }
+        let t_next = m.rename_shift(targets, i64::from(state_bits));
+        let edge = m.and(src, t_next);
+        eb_rel = m.or(eb_rel, edge);
+    }
+
+    // Transition relation: component edges, target valid.
+    let valid_next = m.rename_shift(valid, i64::from(state_bits));
+    let mut trans = m.and(eg_rel, eb_rel);
+    trans = m.and(trans, valid_next);
+    let src_valid = valid;
+    trans = m.and(trans, src_valid);
+
+    // Initial states.
+    let mut init = m.constant(false);
+    for &g in &graph.initial {
+        for &b in buchi.initial() {
+            if matches(g, b) {
+                let eg = enc_g(&mut m, g);
+                let eb = enc_b(&mut m, b);
+                let s = m.and(eg, eb);
+                init = m.or(init, s);
+            }
+        }
+    }
+
+    // Acceptance families: Büchi acceptance plus one per justice
+    // condition (all over the current block).
+    let mut families: Vec<Ref> = Vec::new();
+    {
+        let mut acc = m.constant(false);
+        for (b, st) in buchi.states().iter().enumerate() {
+            if st.accepting {
+                let eb = enc_b(&mut m, b);
+                acc = m.or(acc, eb);
+            }
+        }
+        families.push(acc);
+    }
+    for j in justice {
+        let mut sat = m.constant(false);
+        for g in 0..ng {
+            let (props, acts) = graph.labels[g];
+            if j.holds(props, acts) {
+                let eg = enc_g(&mut m, g);
+                sat = m.or(sat, eg);
+            }
+        }
+        families.push(sat);
+    }
+
+    // EX S = ∃next. trans(cur, next) ∧ S[next].
+    let ex = |m: &mut BddManager, trans: Ref, s: Ref| -> Ref {
+        let s_next = m.rename_shift(s, i64::from(state_bits));
+        let conj = m.and(trans, s_next);
+        m.exists(conj, &next_vars)
+    };
+    // E[Z U T] (backward least fixpoint).
+    let eu = |m: &mut BddManager, trans: Ref, z: Ref, t: Ref| -> Ref {
+        let mut y = t;
+        loop {
+            let pre = ex(m, trans, y);
+            let step = m.and(z, pre);
+            let next = m.or(y, step);
+            if next == y {
+                return y;
+            }
+            y = next;
+        }
+    };
+
+    // Emerson–Lei: greatest fixpoint of
+    //   Z = ⋀_i EX E[Z U (Z ∧ F_i)].
+    let mut z = valid;
+    let mut el_iterations = 0;
+    loop {
+        el_iterations += 1;
+        let mut znew = z;
+        for &f in &families {
+            let zf = m.and(znew, f);
+            let reach_f = eu(&mut m, trans, znew, zf);
+            let pre = ex(&mut m, trans, reach_f);
+            znew = m.and(znew, pre);
+        }
+        if znew == z {
+            break;
+        }
+        z = znew;
+    }
+
+    // Forward reachability from the initial states.
+    let mut reach = init;
+    loop {
+        let cur = m.and(reach, trans);
+        let img_next = m.exists(cur, &current_vars);
+        let img = m.rename_shift(img_next, -i64::from(state_bits));
+        let next = m.or(reach, img);
+        if next == reach {
+            break;
+        }
+        reach = next;
+    }
+
+    // A fair cycle is reachable iff reach ∩ Z ≠ ∅.
+    let bad = m.and(reach, z);
+    let holds = !m.satisfiable(bad);
+    (
+        holds,
+        SymbolicStats {
+            state_bits,
+            bdd_nodes: m.num_nodes(),
+            el_iterations,
+        },
+    )
+}
+
+fn bits_for(n: usize) -> u32 {
+    let mut bits = 1;
+    while (1usize << bits) < n {
+        bits += 1;
+    }
+    bits
+}
+
+/// Conjunction of literals encoding `value` in binary over
+/// `bits` variables starting at `offset`.
+fn encode(m: &mut BddManager, value: u32, offset: u32, bits: u32) -> Ref {
+    let mut acc = m.constant(true);
+    for i in 0..bits {
+        let lit = if value & (1 << i) != 0 {
+            m.var(offset + i)
+        } else {
+            m.nvar(offset + i)
+        };
+        acc = m.and(acc, lit);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_graph_fair, parse, Verdict};
+    use autokit::{ActSet, ProductState, PropSet, Vocab};
+    use proptest::prelude::*;
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        v.add_prop("a").unwrap();
+        v.add_prop("b").unwrap();
+        v.add_act("s").unwrap();
+        v
+    }
+
+    fn lasso_graph(prefix: &[(PropSet, ActSet)], cycle: &[(PropSet, ActSet)]) -> LabelGraph {
+        let n = prefix.len() + cycle.len();
+        let mut labels = Vec::new();
+        let mut succs = vec![Vec::new(); n];
+        for (i, &l) in prefix.iter().chain(cycle.iter()).enumerate() {
+            labels.push(l);
+            if i + 1 < n {
+                succs[i].push(i + 1);
+            } else {
+                succs[i].push(prefix.len());
+            }
+        }
+        LabelGraph {
+            labels,
+            origin: vec![ProductState { model: 0, ctrl: 0 }; n],
+            succs,
+            initial: vec![0],
+        }
+    }
+
+    fn decode(word: &[u8], v: &Vocab) -> Vec<(PropSet, ActSet)> {
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        let s = v.act("s").unwrap();
+        word.iter()
+            .map(|&bits| {
+                let mut props = PropSet::empty();
+                if bits & 1 != 0 {
+                    props.insert(a);
+                }
+                if bits & 2 != 0 {
+                    props.insert(b);
+                }
+                let mut acts = ActSet::empty();
+                if bits & 4 != 0 {
+                    acts.insert(s);
+                }
+                (props, acts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_on_simple_cases() {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        let word = vec![(PropSet::singleton(a), ActSet::empty())];
+        let graph = lasso_graph(&[], &word);
+        for spec in ["G a", "F !a", "a U b", "X a"] {
+            let phi = parse(spec, &v).unwrap();
+            let explicit = check_graph_fair(&graph, &phi, &[]).holds();
+            let symbolic = check_graph_fair_symbolic(&graph, &phi, &[]);
+            assert_eq!(explicit, symbolic, "{spec}");
+        }
+    }
+
+    #[test]
+    fn agrees_under_justice() {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        // Two-state graph: {a} ↔ {} with self-loops; an unfair path may
+        // stay in {} forever.
+        let la = (PropSet::singleton(a), ActSet::empty());
+        let l0 = (PropSet::empty(), ActSet::empty());
+        let graph = LabelGraph {
+            labels: vec![la, l0],
+            origin: vec![ProductState { model: 0, ctrl: 0 }; 2],
+            succs: vec![vec![0, 1], vec![0, 1]],
+            initial: vec![1],
+        };
+        let phi = parse("G F a", &v).unwrap();
+        let justice = [Justice::new("a io", parse("a", &v).unwrap()).unwrap()];
+        // Without justice the spec fails (stay in {} forever)...
+        assert!(!check_graph_fair(&graph, &phi, &[]).holds());
+        assert!(!check_graph_fair_symbolic(&graph, &phi, &[]));
+        // ...and with justice it holds, in both backends.
+        assert!(check_graph_fair(&graph, &phi, &justice).holds());
+        assert!(check_graph_fair_symbolic(&graph, &phi, &justice));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        let graph = lasso_graph(&[], &[(PropSet::singleton(a), ActSet::empty())]);
+        let phi = parse("G a", &v).unwrap();
+        let (holds, stats) = check_with_stats(&graph, &phi, &[]);
+        assert!(holds);
+        assert!(stats.state_bits >= 2);
+        assert!(stats.bdd_nodes > 2);
+        assert!(stats.el_iterations >= 1);
+    }
+
+    fn arb_ltl() -> impl Strategy<Value = Ltl> {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        let s = v.act("s").unwrap();
+        let leaf = prop_oneof![
+            Just(Ltl::True),
+            Just(Ltl::False),
+            Just(Ltl::prop(a)),
+            Just(Ltl::prop(b)),
+            Just(Ltl::act(s)),
+        ];
+        leaf.prop_recursive(3, 20, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Ltl::not),
+                inner.clone().prop_map(Ltl::next),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::and(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::or(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Ltl::until(l, r)),
+                (inner.clone(), inner).prop_map(|(l, r)| Ltl::release(l, r)),
+            ]
+        })
+    }
+
+    /// Random branching graphs (not just lassos).
+    fn arb_graph() -> impl Strategy<Value = LabelGraph> {
+        (
+            proptest::collection::vec(0u8..8, 1..6),
+            proptest::collection::vec((0usize..6, 0usize..6), 1..12),
+        )
+            .prop_map(|(labels_raw, edges)| {
+                let v = vocab();
+                let labels = decode(&labels_raw, &v);
+                let n = labels.len();
+                let mut succs = vec![Vec::new(); n];
+                for (a, b) in edges {
+                    let (a, b) = (a % n, b % n);
+                    if !succs[a].contains(&b) {
+                        succs[a].push(b);
+                    }
+                }
+                // Ensure totality so both backends see infinite paths.
+                for (i, s) in succs.iter_mut().enumerate() {
+                    if s.is_empty() {
+                        s.push(i);
+                    }
+                }
+                LabelGraph {
+                    origin: vec![ProductState { model: 0, ctrl: 0 }; n],
+                    labels,
+                    succs,
+                    initial: vec![0],
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The explicit and symbolic backends agree on random graphs and
+        /// formulas, with and without a justice assumption.
+        #[test]
+        fn backends_agree(graph in arb_graph(), phi in arb_ltl()) {
+            let v = vocab();
+            let explicit = check_graph_fair(&graph, &phi, &[]).holds();
+            let symbolic = check_graph_fair_symbolic(&graph, &phi, &[]);
+            prop_assert_eq!(explicit, symbolic, "no justice: {:?}", phi);
+
+            let justice = [Justice::new("a io", parse("a", &v).unwrap()).unwrap()];
+            let explicit = matches!(
+                check_graph_fair(&graph, &phi, &justice),
+                Verdict::Holds
+            );
+            let symbolic = check_graph_fair_symbolic(&graph, &phi, &justice);
+            prop_assert_eq!(explicit, symbolic, "with justice: {:?}", phi);
+        }
+    }
+}

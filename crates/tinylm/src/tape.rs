@@ -1,0 +1,520 @@
+//! A compact reverse-mode automatic-differentiation tape over `f32`
+//! vectors.
+//!
+//! Every value on the tape is a flat vector; matrices are row-major
+//! vectors with their dimensions carried by the op that consumes them.
+//! [`Tape::backward`] walks the recorded ops in reverse and accumulates
+//! gradients for every node, which callers read off leaf nodes.
+//!
+//! The op set is exactly what a softmax MLP language model and the DPO
+//! objective need — this is an ml-systems substrate, not a framework.
+//!
+//! # Example
+//!
+//! ```
+//! use tinylm::tape::Tape;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(vec![1.0, 2.0]);
+//! let w = tape.leaf(vec![0.5, -0.5, 1.0, 1.5]); // 2×2 row-major
+//! let y = tape.matvec(w, 2, 2, x);
+//! let h = tape.tanh(y);
+//! let s = tape.sum(h);
+//! let grads = tape.backward(s);
+//! assert_eq!(grads[x.index()].len(), 2);
+//! assert_eq!(grads[w.index()].len(), 4);
+//! ```
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Position of this node on its tape (index into the gradient vector
+    /// returned by [`Tape::backward`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    /// Elementwise addition.
+    Add(VarId, VarId),
+    /// Elementwise subtraction `a - b`.
+    Sub(VarId, VarId),
+    /// Elementwise multiplication.
+    Mul(VarId, VarId),
+    /// Scalar scale.
+    Scale(VarId, f32),
+    /// Matrix(rows×cols, row-major) × vector(cols).
+    MatVec {
+        m: VarId,
+        rows: usize,
+        cols: usize,
+        x: VarId,
+    },
+    /// Elementwise tanh.
+    Tanh(VarId),
+    /// log-softmax over the whole vector.
+    LogSoftmax(VarId),
+    /// Scalar: the `i`-th component of a vector.
+    Index(VarId, usize),
+    /// Scalar: sum of components.
+    Sum(VarId),
+    /// Concatenation of several vectors.
+    Concat(Vec<VarId>),
+    /// Scalar: log σ(x) of a 1-element vector.
+    LogSigmoid(VarId),
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Debug, Default)]
+pub struct Tape {
+    vals: Vec<Vec<f32>>,
+    ops: Vec<Op>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, val: Vec<f32>, op: Op) -> VarId {
+        self.vals.push(val);
+        self.ops.push(op);
+        VarId(self.vals.len() - 1)
+    }
+
+    /// Records an input (leaf) node. Gradients accumulate here.
+    pub fn leaf(&mut self, val: Vec<f32>) -> VarId {
+        self.push(val, Op::Leaf)
+    }
+
+    /// The current value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this tape.
+    pub fn value(&self, id: VarId) -> &[f32] {
+        &self.vals[id.0]
+    }
+
+    /// Scalar value of a 1-element node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not scalar.
+    pub fn scalar(&self, id: VarId) -> f32 {
+        assert_eq!(self.vals[id.0].len(), 1, "node is not scalar");
+        self.vals[id.0][0]
+    }
+
+    /// Elementwise `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        assert_eq!(self.vals[a.0].len(), self.vals[b.0].len());
+        let val = self.vals[a.0]
+            .iter()
+            .zip(&self.vals[b.0])
+            .map(|(x, y)| x + y)
+            .collect();
+        self.push(val, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        assert_eq!(self.vals[a.0].len(), self.vals[b.0].len());
+        let val = self.vals[a.0]
+            .iter()
+            .zip(&self.vals[b.0])
+            .map(|(x, y)| x - y)
+            .collect();
+        self.push(val, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a ⊙ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        assert_eq!(self.vals[a.0].len(), self.vals[b.0].len());
+        let val = self.vals[a.0]
+            .iter()
+            .zip(&self.vals[b.0])
+            .map(|(x, y)| x * y)
+            .collect();
+        self.push(val, Op::Mul(a, b))
+    }
+
+    /// `c · a`.
+    pub fn scale(&mut self, a: VarId, c: f32) -> VarId {
+        let val = self.vals[a.0].iter().map(|x| c * x).collect();
+        self.push(val, Op::Scale(a, c))
+    }
+
+    /// `M x` where `m` is a `rows×cols` row-major matrix node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match the operand lengths.
+    pub fn matvec(&mut self, m: VarId, rows: usize, cols: usize, x: VarId) -> VarId {
+        assert_eq!(self.vals[m.0].len(), rows * cols, "matrix size mismatch");
+        assert_eq!(self.vals[x.0].len(), cols, "vector size mismatch");
+        let mut out = vec![0.0; rows];
+        let mv = &self.vals[m.0];
+        let xv = &self.vals[x.0];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            let row = &mv[r * cols..(r + 1) * cols];
+            *out_r = row.iter().zip(xv).map(|(a, b)| a * b).sum();
+        }
+        self.push(out, Op::MatVec { m, rows, cols, x })
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let val = self.vals[a.0].iter().map(|x| x.tanh()).collect();
+        self.push(val, Op::Tanh(a))
+    }
+
+    /// Numerically stable log-softmax over the whole vector.
+    pub fn log_softmax(&mut self, a: VarId) -> VarId {
+        let v = &self.vals[a.0];
+        let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_z = max + v.iter().map(|x| (x - max).exp()).sum::<f32>().ln();
+        let val = v.iter().map(|x| x - log_z).collect();
+        self.push(val, Op::LogSoftmax(a))
+    }
+
+    /// The scalar `a[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn index(&mut self, a: VarId, i: usize) -> VarId {
+        let val = vec![self.vals[a.0][i]];
+        self.push(val, Op::Index(a, i))
+    }
+
+    /// The scalar `Σ a`.
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let val = vec![self.vals[a.0].iter().sum()];
+        self.push(val, Op::Sum(a))
+    }
+
+    /// Concatenation of vectors.
+    pub fn concat(&mut self, parts: &[VarId]) -> VarId {
+        let mut val = Vec::new();
+        for p in parts {
+            val.extend_from_slice(&self.vals[p.0]);
+        }
+        self.push(val, Op::Concat(parts.to_vec()))
+    }
+
+    /// Numerically stable `log σ(x)` of a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not scalar.
+    pub fn log_sigmoid(&mut self, a: VarId) -> VarId {
+        assert_eq!(self.vals[a.0].len(), 1, "log_sigmoid takes a scalar");
+        let x = self.vals[a.0][0];
+        // log σ(x) = -log(1 + e^{-x}) = min(x, 0) - ln(1 + e^{-|x|})
+        let val = vec![x.min(0.0) - (-x.abs()).exp().ln_1p()];
+        self.push(val, Op::LogSigmoid(a))
+    }
+
+    /// Runs backpropagation from a scalar node; returns one gradient
+    /// vector per node (same indexing as [`VarId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not scalar.
+    pub fn backward(&self, root: VarId) -> Vec<Vec<f32>> {
+        assert_eq!(self.vals[root.0].len(), 1, "backward root must be scalar");
+        let mut grads: Vec<Vec<f32>> = self.vals.iter().map(|v| vec![0.0; v.len()]).collect();
+        grads[root.0][0] = 1.0;
+        for i in (0..=root.0).rev() {
+            // Split off the current gradient to appease the borrow checker.
+            let g = std::mem::take(&mut grads[i]);
+            if g.iter().all(|&x| x == 0.0) {
+                grads[i] = g;
+                continue;
+            }
+            match &self.ops[i] {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    for (k, &gk) in g.iter().enumerate() {
+                        grads[a.0][k] += gk;
+                        grads[b.0][k] += gk;
+                    }
+                }
+                // (indexing by k is intentional throughout: gradient
+                // slices alias multiple nodes, so zip-style iteration
+                // would fight the borrow checker for no clarity gain)
+                Op::Sub(a, b) => {
+                    for (k, &gk) in g.iter().enumerate() {
+                        grads[a.0][k] += gk;
+                        grads[b.0][k] -= gk;
+                    }
+                }
+                Op::Mul(a, b) => {
+                    for (k, &gk) in g.iter().enumerate() {
+                        let (av, bv) = (self.vals[a.0][k], self.vals[b.0][k]);
+                        grads[a.0][k] += gk * bv;
+                        grads[b.0][k] += gk * av;
+                    }
+                }
+                Op::Scale(a, c) => {
+                    for (k, &gk) in g.iter().enumerate() {
+                        grads[a.0][k] += gk * c;
+                    }
+                }
+                Op::MatVec { m, rows, cols, x } => {
+                    let xv = self.vals[x.0].clone();
+                    let mv = self.vals[m.0].clone();
+                    for r in 0..*rows {
+                        let gr = g[r];
+                        if gr == 0.0 {
+                            continue;
+                        }
+                        for c in 0..*cols {
+                            grads[m.0][r * cols + c] += gr * xv[c];
+                            grads[x.0][c] += gr * mv[r * cols + c];
+                        }
+                    }
+                }
+                Op::Tanh(a) => {
+                    for (k, &gk) in g.iter().enumerate() {
+                        let y = self.vals[i][k];
+                        grads[a.0][k] += gk * (1.0 - y * y);
+                    }
+                }
+                Op::LogSoftmax(a) => {
+                    // d/dx_j (x_k - logZ) = δ_jk - softmax(x)_j
+                    let gsum: f32 = g.iter().sum();
+                    for (j, &yj) in self.vals[i].iter().enumerate() {
+                        let p = yj.exp();
+                        grads[a.0][j] += g[j] - gsum * p;
+                    }
+                }
+                Op::Index(a, idx) => {
+                    grads[a.0][*idx] += g[0];
+                }
+                Op::Sum(a) => {
+                    for gk in grads[a.0].iter_mut() {
+                        *gk += g[0];
+                    }
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let len = self.vals[p.0].len();
+                        for k in 0..len {
+                            grads[p.0][k] += g[offset + k];
+                        }
+                        offset += len;
+                    }
+                }
+                Op::LogSigmoid(a) => {
+                    // d/dx log σ(x) = 1 - σ(x) = σ(-x)
+                    let x = self.vals[a.0][0];
+                    let sig_neg = 1.0 / (1.0 + x.exp());
+                    grads[a.0][0] += g[0] * sig_neg;
+                }
+            }
+            grads[i] = g;
+        }
+        grads
+    }
+
+    /// Number of nodes recorded.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `true` iff the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-parallel comparisons read clearest
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Central finite difference of `f` at `x` in coordinate `i`.
+    fn numeric_grad(f: impl Fn(&[f32]) -> f32, x: &[f32], i: usize) -> f32 {
+        let h = 1e-3;
+        let mut xp = x.to_vec();
+        xp[i] += h;
+        let mut xm = x.to_vec();
+        xm[i] -= h;
+        (f(&xp) - f(&xm)) / (2.0 * h)
+    }
+
+    #[test]
+    fn add_mul_grads() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(vec![1.0, 2.0]);
+        let b = tape.leaf(vec![3.0, -1.0]);
+        let prod = tape.mul(a, b);
+        let s = tape.sum(prod);
+        assert!((tape.scalar(s) - 1.0).abs() < 1e-6);
+        let grads = tape.backward(s);
+        assert_eq!(grads[a.index()], vec![3.0, -1.0]);
+        assert_eq!(grads[b.index()], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_forward_and_grad() {
+        let m = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+        let x = vec![5.0, 6.0];
+        let mut tape = Tape::new();
+        let mv = tape.leaf(m.clone());
+        let xv = tape.leaf(x.clone());
+        let y = tape.matvec(mv, 2, 2, xv);
+        assert_eq!(tape.value(y), &[17.0, 39.0]);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        // d(sum(Mx))/dM = [x; x], d/dx = column sums of M.
+        assert_eq!(grads[mv.index()], vec![5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(grads[xv.index()], vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn log_softmax_is_normalized() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(vec![1.0, 2.0, 3.0]);
+        let ls = tape.log_softmax(x);
+        let total: f32 = tape.value(ls).iter().map(|l| l.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_stable_for_large_inputs() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(vec![1000.0, 999.0]);
+        let ls = tape.log_softmax(x);
+        assert!(tape.value(ls).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_sigmoid_matches_reference() {
+        for x in [-20.0f32, -1.0, 0.0, 1.0, 20.0] {
+            let mut tape = Tape::new();
+            let v = tape.leaf(vec![x]);
+            let ls = tape.log_sigmoid(v);
+            let expected = (1.0 / (1.0 + (-f64::from(x)).exp())).ln() as f32;
+            assert!(
+                (tape.scalar(ls) - expected).abs() < 1e-5,
+                "x={x}: {} vs {}",
+                tape.scalar(ls),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_difference() {
+        // f(w) = logsoftmax(W2 · tanh(W1 x))[target]
+        let x = vec![0.3, -0.7, 0.2];
+        let w1: Vec<f32> = (0..12).map(|i| (i as f32 * 0.37).sin() * 0.5).collect();
+        let w2: Vec<f32> = (0..8).map(|i| (i as f32 * 0.53).cos() * 0.5).collect();
+
+        let f_of_w1 = |w: &[f32]| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let w1v = tape.leaf(w.to_vec());
+            let w2v = tape.leaf(w2.clone());
+            let h = tape.matvec(w1v, 4, 3, xv);
+            let t = tape.tanh(h);
+            let o = tape.matvec(w2v, 2, 4, t);
+            let ls = tape.log_softmax(o);
+            let picked = tape.index(ls, 1);
+            tape.scalar(picked)
+        };
+
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let w1v = tape.leaf(w1.clone());
+        let w2v = tape.leaf(w2.clone());
+        let h = tape.matvec(w1v, 4, 3, xv);
+        let t = tape.tanh(h);
+        let o = tape.matvec(w2v, 2, 4, t);
+        let ls = tape.log_softmax(o);
+        let picked = tape.index(ls, 1);
+        let grads = tape.backward(picked);
+
+        for i in 0..w1.len() {
+            let num = numeric_grad(f_of_w1, &w1, i);
+            let ana = grads[w1v.index()][i];
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "w1[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Every op's gradient matches central finite differences on a
+        /// random composite expression g(a) = sum(tanh(a ⊙ a + c·a)).
+        #[test]
+        fn composite_grad_matches_numeric(
+            vals in proptest::collection::vec(-2.0f32..2.0, 2..6),
+            c in -2.0f32..2.0,
+        ) {
+            let f = |a: &[f32]| -> f32 {
+                let mut tape = Tape::new();
+                let av = tape.leaf(a.to_vec());
+                let sq = tape.mul(av, av);
+                let sc = tape.scale(av, c);
+                let s = tape.add(sq, sc);
+                let t = tape.tanh(s);
+                let out = tape.sum(t);
+                tape.scalar(out)
+            };
+            let mut tape = Tape::new();
+            let av = tape.leaf(vals.clone());
+            let sq = tape.mul(av, av);
+            let sc = tape.scale(av, c);
+            let s = tape.add(sq, sc);
+            let t = tape.tanh(s);
+            let out = tape.sum(t);
+            let grads = tape.backward(out);
+            for i in 0..vals.len() {
+                let num = numeric_grad(f, &vals, i);
+                let ana = grads[av.index()][i];
+                prop_assert!((num - ana).abs() < 5e-2, "i={}: {} vs {}", i, num, ana);
+            }
+        }
+
+        /// Concat routes gradients to the right parts.
+        #[test]
+        fn concat_grad_routing(
+            a in proptest::collection::vec(-1.0f32..1.0, 1..4),
+            b in proptest::collection::vec(-1.0f32..1.0, 1..4),
+        ) {
+            let mut tape = Tape::new();
+            let av = tape.leaf(a.clone());
+            let bv = tape.leaf(b.clone());
+            let cat = tape.concat(&[av, bv]);
+            let s = tape.sum(cat);
+            let grads = tape.backward(s);
+            prop_assert!(grads[av.index()].iter().all(|&g| (g - 1.0).abs() < 1e-6));
+            prop_assert!(grads[bv.index()].iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # warehouse — a second DPO-AF domain
+//!
+//! The paper demonstrates DPO-AF on autonomous driving but notes that
+//! "applicability is not limited to this domain". This crate is the
+//! proof: a **warehouse robot** domain built from the same substrate
+//! crates, with none of them modified —
+//!
+//! * a vocabulary and world model from `autokit` (humans, obstacles,
+//!   shelves and battery state come and go; the robot moves, picks,
+//!   places, waits and docks),
+//! * an eight-rule safety/liveness rule book checked by `ltlcheck` under
+//!   a justice assumption ("the aisle clears and a shelf appears
+//!   infinitely often"),
+//! * a paraphrase lexicon and templates compiled by `glm2fsa`,
+//! * a conditional language model from `tinylm` fine-tuned by `dpo` on
+//!   verification-ranked preferences.
+//!
+//! [`pipeline::run_mini`] runs the whole loop and reports the
+//! before/after specification-satisfaction scores; the
+//! `warehouse_robot` example prints the full story.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod feedback;
+pub mod pipeline;
+
+pub use domain::{WarehouseDomain, WarehouseStyle, WarehouseTask};
+pub use feedback::{score_warehouse_response, warehouse_justice, warehouse_specs};
+pub use pipeline::{run_mini, MiniConfig, MiniOutcome};

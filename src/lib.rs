@@ -1,0 +1,25 @@
+//! # formal-feedback
+//!
+//! Umbrella crate for the reproduction of *"Fine-Tuning Language Models
+//! Using Formal Methods Feedback"* (MLSys 2024). It re-exports the
+//! workspace crates so examples and integration tests can use a single
+//! dependency:
+//!
+//! * [`autokit`] — world models, FSA controllers, product automata.
+//! * [`ltlcheck`] — LTL parsing, Büchi construction, model checking,
+//!   finite-trace monitoring, the 15 driving specifications.
+//! * [`glm2fsa`] — natural-language step lists → FSA controllers.
+//! * [`tinylm`] — the trainable language-model substrate (autodiff, LoRA).
+//! * [`dpo`] — direct preference optimization.
+//! * [`drivesim`] — the driving simulator (Carla stand-in).
+//! * [`vision`] — the sim-vs-real detection consistency study.
+//! * [`dpo_af`] — the end-to-end DPO-AF pipeline.
+
+pub use autokit;
+pub use dpo;
+pub use dpo_af;
+pub use drivesim;
+pub use glm2fsa;
+pub use ltlcheck;
+pub use tinylm;
+pub use vision;
