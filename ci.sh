@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tests, and the speclint static-analysis
+# pass over the shipped rule books, controllers and step lists.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> speclint --deny-warnings"
+cargo run -q -p speclint -- --deny-warnings
+
+echo "ci: all gates passed"

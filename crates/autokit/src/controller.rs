@@ -346,9 +346,7 @@ mod tests {
 
     #[test]
     fn builder_validates_states() {
-        let bad = ControllerBuilder::new("x", 2)
-            .initial(5)
-            .build();
+        let bad = ControllerBuilder::new("x", 2).initial(5).build();
         assert!(matches!(bad, Err(AutokitError::InvalidState(5))));
 
         let bad = ControllerBuilder::new("x", 2)
@@ -370,7 +368,12 @@ mod tests {
         let ctrl = ControllerBuilder::new("t", 1)
             .initial(0)
             .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
-            .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+            .transition(
+                0,
+                Guard::always().forbids(green),
+                ActSet::singleton(stop),
+                0,
+            )
             .build()
             .unwrap();
         let when_green: Vec<_> = ctrl.enabled(0, PropSet::singleton(green)).collect();

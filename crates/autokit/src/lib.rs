@@ -59,8 +59,8 @@ mod controller;
 mod dot;
 mod error;
 mod minimize;
-mod product;
 pub mod presets;
+mod product;
 mod sets;
 mod trace;
 mod vocab;

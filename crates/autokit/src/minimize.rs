@@ -44,6 +44,9 @@ impl Controller {
     /// assert!(min.num_states() < ctrl.num_states());
     /// # Ok::<(), autokit::AutokitError>(())
     /// ```
+    // The rebuild maps valid indices through a total `block` function, so
+    // the final `build` cannot fail; a panic here is a bug in this method.
+    #[allow(clippy::expect_used)]
     pub fn bisimulation_quotient(&self) -> Controller {
         let n = self.num_states();
         if n == 0 {
@@ -93,8 +96,8 @@ impl Controller {
         }
 
         // Rebuild over blocks.
-        let mut builder =
-            ControllerBuilder::new(self.name(), num_blocks as usize).initial(block[self.initial()] as usize);
+        let mut builder = ControllerBuilder::new(self.name(), num_blocks as usize)
+            .initial(block[self.initial()] as usize);
         let mut seen: std::collections::HashSet<(u32, u32, u32, u32, u32)> =
             std::collections::HashSet::new();
         for t in self.transitions() {

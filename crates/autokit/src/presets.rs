@@ -76,10 +76,15 @@ fn hamming(a: PropSet, b: PropSet) -> u32 {
 
 impl DrivingDomain {
     /// Builds the paper's driving vocabulary.
+    // The vocabulary is built from distinct literals into a fresh `Vocab`;
+    // an `expect` failure here is a bug in this constructor.
+    #[allow(clippy::expect_used)]
     pub fn new() -> Self {
         let mut vocab = Vocab::new();
         let green_tl = vocab.add_prop("green traffic light").expect("fresh vocab");
-        let green_ll = vocab.add_prop("green left-turn light").expect("fresh vocab");
+        let green_ll = vocab
+            .add_prop("green left-turn light")
+            .expect("fresh vocab");
         let flashing_ll = vocab
             .add_prop("flashing left-turn light")
             .expect("fresh vocab");
@@ -141,7 +146,8 @@ impl DrivingDomain {
             self.ped_right,
             self.ped_front,
         ];
-        let labels = self.labels_over(PropSet::empty(), &free)
+        let labels = self
+            .labels_over(PropSet::empty(), &free)
             .into_iter()
             .flat_map(|l| [l, l.with(self.green_tl)])
             .collect::<Vec<_>>();
@@ -192,7 +198,9 @@ impl DrivingDomain {
                 2
             }
         };
-        let traffic = PropSet::empty().with(self.opposite_car).with(self.ped_front);
+        let traffic = PropSet::empty()
+            .with(self.opposite_car)
+            .with(self.ped_front);
         for (i, &li) in labels.iter().enumerate() {
             for (j, &lj) in labels.iter().enumerate() {
                 let (pi, pj) = (phase_of(li), phase_of(lj));
@@ -361,10 +369,7 @@ mod tests {
         let succ_phases: Vec<PropSet> = m
             .successors(green)
             .iter()
-            .map(|&s| {
-                m.label(s)
-                    & (PropSet::empty().with(d.green_ll).with(d.flashing_ll))
-            })
+            .map(|&s| m.label(s) & (PropSet::empty().with(d.green_ll).with(d.flashing_ll)))
             .collect();
         assert!(succ_phases.contains(&PropSet::singleton(d.green_ll)));
         assert!(succ_phases.contains(&PropSet::singleton(d.flashing_ll)));

@@ -122,10 +122,8 @@ impl Product {
             let sigma = model.label(p);
             // Collect (action, q') pairs enabled under λ_M(p); each pairs
             // with every model successor p'.
-            let enabled: Vec<(ActSet, CtrlState)> = ctrl
-                .enabled(q, sigma)
-                .map(|t| (t.action, t.to))
-                .collect();
+            let enabled: Vec<(ActSet, CtrlState)> =
+                ctrl.enabled(q, sigma).map(|t| (t.action, t.to)).collect();
             for &(a, q_next) in &enabled {
                 for &p_next in model.successors(p) {
                     let target = ProductState {
@@ -149,10 +147,7 @@ impl Product {
                     // Non-determinism can propose the same edge twice
                     // (distinct controller transitions with equal action
                     // and target); keep it once.
-                    if !out_edges[sid]
-                        .iter()
-                        .any(|&e| edges[e] == edge)
-                    {
+                    if !out_edges[sid].iter().any(|&e| edges[e] == edge) {
                         out_edges[sid].push(edges.len());
                         edges.push(edge);
                     }
@@ -392,10 +387,7 @@ mod tests {
         for (i, succs) in graph.succs.iter().enumerate() {
             let target = product.edges()[i].to;
             for &j in succs {
-                assert_eq!(
-                    graph.origin[j],
-                    product.states()[product.edges()[j].from]
-                );
+                assert_eq!(graph.origin[j], product.states()[product.edges()[j].from]);
                 assert_eq!(product.edges()[j].from, target);
             }
         }
@@ -466,37 +458,35 @@ mod tests {
                     0..8,
                 ), // (from, pos, neg, action, to)
             );
-            (model_strategy, ctrl_strategy).prop_map(
-                |((labels, adj), (nq, transitions))| {
-                    let mut model = WorldModel::new("random");
-                    let states: Vec<_> = labels
-                        .iter()
-                        .map(|&b| model.add_state(PropSet::from_bits(b)))
-                        .collect();
-                    let n = states.len();
-                    for (k, &bit) in adj.iter().enumerate() {
-                        if bit {
-                            model.add_transition(states[k % n], states[(k / n) % n]);
-                        }
+            (model_strategy, ctrl_strategy).prop_map(|((labels, adj), (nq, transitions))| {
+                let mut model = WorldModel::new("random");
+                let states: Vec<_> = labels
+                    .iter()
+                    .map(|&b| model.add_state(PropSet::from_bits(b)))
+                    .collect();
+                let n = states.len();
+                for (k, &bit) in adj.iter().enumerate() {
+                    if bit {
+                        model.add_transition(states[k % n], states[(k / n) % n]);
                     }
-                    let mut builder = ControllerBuilder::new("random", nq).initial(0);
-                    for (from, pos, neg, act, to) in transitions {
-                        builder = builder.transition(
-                            from % nq,
-                            Guard {
-                                pos: PropSet::from_bits(pos),
-                                neg: PropSet::from_bits(neg),
-                            },
-                            ActSet::from_bits(act),
-                            to % nq,
-                        );
-                    }
-                    RandomSetup {
-                        model,
-                        ctrl: builder.build().expect("indices are in range"),
-                    }
-                },
-            )
+                }
+                let mut builder = ControllerBuilder::new("random", nq).initial(0);
+                for (from, pos, neg, act, to) in transitions {
+                    builder = builder.transition(
+                        from % nq,
+                        Guard {
+                            pos: PropSet::from_bits(pos),
+                            neg: PropSet::from_bits(neg),
+                        },
+                        ActSet::from_bits(act),
+                        to % nq,
+                    );
+                }
+                RandomSetup {
+                    model,
+                    ctrl: builder.build().expect("indices are in range"),
+                }
+            })
         }
 
         proptest! {

@@ -309,10 +309,7 @@ mod tests {
     #[test]
     fn unknown_lookup_fails() {
         let v = Vocab::new();
-        assert!(matches!(
-            v.prop("nope"),
-            Err(AutokitError::UnknownName(_))
-        ));
+        assert!(matches!(v.prop("nope"), Err(AutokitError::UnknownName(_))));
         assert!(matches!(v.act("nope"), Err(AutokitError::UnknownName(_))));
     }
 

@@ -93,9 +93,7 @@ impl WorldModel {
 
     /// `true` iff `δ_M(from, to) = 1`.
     pub fn has_transition(&self, from: ModelState, to: ModelState) -> bool {
-        self.succs
-            .get(from)
-            .is_some_and(|s| s.contains(&to))
+        self.succs.get(from).is_some_and(|s| s.contains(&to))
     }
 
     /// Forms the disjoint union of two models, preserving all transitions.
@@ -195,7 +193,9 @@ impl<'v> WorldModelBuilder<'v> {
     /// candidate labels.
     pub fn new(vocab: &'v Vocab) -> Self {
         let n = vocab.num_props();
-        let candidates = (0..(1u64 << n)).map(|b| PropSet::from_bits(b as u32)).collect();
+        let candidates = (0..(1u64 << n))
+            .map(|b| PropSet::from_bits(b as u32))
+            .collect();
         WorldModelBuilder {
             vocab,
             name: "world model".to_owned(),

@@ -194,10 +194,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let v = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -274,7 +271,9 @@ impl BddManager {
     fn var_mask(vars: &[u32]) -> u64 {
         // Hash key for the quantified set; exact for ≤64 variables, a
         // partitioned fold otherwise (cache key only, never semantics).
-        vars.iter().fold(0u64, |m, &v| m ^ (1u64.rotate_left(v % 63) ^ (u64::from(v) << 32)))
+        vars.iter().fold(0u64, |m, &v| {
+            m ^ (1u64.rotate_left(v % 63) ^ (u64::from(v) << 32))
+        })
     }
 
     fn exists_inner(&mut self, f: Ref, vars: &[u32], mask: u64) -> Ref {
@@ -350,7 +349,11 @@ impl BddManager {
                 return false;
             }
             let n = self.node(cur);
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
     }
 

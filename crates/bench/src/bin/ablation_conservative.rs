@@ -3,6 +3,10 @@
 //! missing transitions but "will significantly increase the computation
 //! cost for formal verification". This binary quantifies the blow-up.
 
+// Experiment binary: panicking on internal invariants is acceptable here
+// (the workspace unwrap/expect lints target library code paths).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use autokit::{PropSet, WorldModelBuilder};
 use bench::table;
 use dpo_af::domain::DomainBundle;
@@ -32,7 +36,13 @@ fn main() {
     // Conservative: every subset of the five relevant propositions as a
     // state, with every transition allowed (nothing pruned, nothing
     // assumed about the dynamics).
-    let props = [d.green_tl, d.car_left, d.opposite_car, d.ped_right, d.ped_front];
+    let props = [
+        d.green_tl,
+        d.car_left,
+        d.opposite_car,
+        d.ped_right,
+        d.ped_front,
+    ];
     let labels: Vec<PropSet> = (0..(1u32 << props.len()))
         .map(|mask| {
             let mut l = PropSet::empty();
@@ -52,7 +62,10 @@ fn main() {
         .build();
 
     let mut rows = Vec::new();
-    for (name, model) in [("pruned (Algorithm 1)", &pruned), ("conservative", &conservative)] {
+    for (name, model) in [
+        ("pruned (Algorithm 1)", &pruned),
+        ("conservative", &conservative),
+    ] {
         let t0 = Instant::now();
         let product = autokit::Product::build(model, &ctrl);
         let build_time = t0.elapsed();

@@ -6,6 +6,10 @@
 //! keeps pushing the margin toward infinity while IPO settles at its
 //! target. This ablation compares final metrics and margin growth.
 
+// Experiment binary: panicking on internal invariants is acceptable here
+// (the workspace unwrap/expect lints target library code paths).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bench::{fast_mode, table};
 use dpo::{dpo_loss_grad, ipo_loss_grad, PreferenceDataset};
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
@@ -17,7 +21,8 @@ use tinylm::{CondLm, GradBuffer};
 
 /// A preference objective: maps (policy, reference, pair) to
 /// (loss, accuracy, margin, gradient).
-type Objective<'a> = Box<dyn Fn(&CondLm, &CondLm, &dpo::PreferencePair) -> (f32, f32, f32, GradBuffer) + 'a>;
+type Objective<'a> =
+    Box<dyn Fn(&CondLm, &CondLm, &dpo::PreferencePair) -> (f32, f32, f32, GradBuffer) + 'a>;
 
 /// Minimal trainer shared by both objectives so only the loss differs.
 fn train(

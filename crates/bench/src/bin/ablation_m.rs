@@ -3,6 +3,10 @@
 //! measures the realized pair yield (ties produce no pair) and the
 //! quality gap between winners and losers as `m` grows.
 
+// Experiment binary: panicking on internal invariants is acceptable here
+// (the workspace unwrap/expect lints target library code paths).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bench::{fast_mode, table};
 use dpo_af::feedback::score_tokens;
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
@@ -67,7 +71,11 @@ fn main() {
         "{}",
         table(
             "A3 — preference-pair yield vs responses per prompt m",
-            &["m", "pairs (realized / N·C(m,2))", "winner vs loser mean score"],
+            &[
+                "m",
+                "pairs (realized / N·C(m,2))",
+                "winner vs loser mean score"
+            ],
             &rows
         )
     );

@@ -7,6 +7,10 @@
 //! the transition-dense "conservative" model where symbolic methods earn
 //! their keep.
 
+// Experiment binary: panicking on internal invariants is acceptable here
+// (the workspace unwrap/expect lints target library code paths).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use autokit::{DeadlockPolicy, Product, PropSet, WorldModelBuilder};
 use bench::table;
 use dpo_af::domain::DomainBundle;
@@ -57,7 +61,13 @@ fn main() {
     )
     .expect("demo steps align");
     let ctrl = with_default_action(&ctrl, d.stop);
-    let props = [d.green_tl, d.car_left, d.opposite_car, d.ped_right, d.ped_front];
+    let props = [
+        d.green_tl,
+        d.car_left,
+        d.opposite_car,
+        d.ped_right,
+        d.ped_front,
+    ];
     let labels: Vec<PropSet> = (0..(1u32 << props.len()))
         .map(|mask| {
             let mut l = PropSet::empty();

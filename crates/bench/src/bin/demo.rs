@@ -23,7 +23,11 @@ fn report(bundle: &DomainBundle, cmp: &demo::DemoComparison, highlight: &str) {
         .collect();
     println!(
         "{}",
-        table("verification results", &["spec", "before FT", "after FT"], &rows)
+        table(
+            "verification results",
+            &["spec", "before FT", "after FT"],
+            &rows
+        )
     );
     println!(
         "before: {}/15 satisfied, after: {}/15 satisfied\n",

@@ -41,8 +41,8 @@ fn main() {
     for (class, gap) in &result.biased_gaps {
         println!("  {class:?}: {gap:.4}");
     }
-    let mean: f32 = result.consistent.iter().map(|c| c.gap).sum::<f32>()
-        / result.consistent.len() as f32;
+    let mean: f32 =
+        result.consistent.iter().map(|c| c.gap).sum::<f32>() / result.consistent.len() as f32;
     println!(
         "\nconsistent-detector mean gap {mean:.4} → the perception stack behaves \
          approximately identically in sim and real, supporting controller transfer (§5.3)."

@@ -14,8 +14,14 @@ fn main() {
         .map(|r| {
             vec![
                 format!("{:?}", r.condition),
-                format!("{:.3} (conf {:.3}, n={})", r.sim.accuracy, r.sim.mean_confidence, r.sim.count),
-                format!("{:.3} (conf {:.3}, n={})", r.real.accuracy, r.real.mean_confidence, r.real.count),
+                format!(
+                    "{:.3} (conf {:.3}, n={})",
+                    r.sim.accuracy, r.sim.mean_confidence, r.sim.count
+                ),
+                format!(
+                    "{:.3} (conf {:.3}, n={})",
+                    r.real.accuracy, r.real.mean_confidence, r.real.count
+                ),
                 format!("{:+.3}", r.sim.accuracy - r.real.accuracy),
             ]
         })

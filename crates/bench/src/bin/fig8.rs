@@ -1,6 +1,10 @@
 //! Figure 8: DPO fine-tuning statistics (loss, accuracy, marginal
 //! preference) per epoch, mean with min/max band over five seeds.
 
+// Experiment binary: panicking on internal invariants is acceptable here
+// (the workspace unwrap/expect lints target library code paths).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bench::{fast_mode, table};
 use dpo_af::experiments::fig8;
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
@@ -38,7 +42,10 @@ fn main() {
             vec![
                 p.epoch.to_string(),
                 format!("{:.4} [{:.4}, {:.4}]", p.loss.0, p.loss.1, p.loss.2),
-                format!("{:.3} [{:.3}, {:.3}]", p.accuracy.0, p.accuracy.1, p.accuracy.2),
+                format!(
+                    "{:.3} [{:.3}, {:.3}]",
+                    p.accuracy.0, p.accuracy.1, p.accuracy.2
+                ),
                 format!("{:.3} [{:.3}, {:.3}]", p.margin.0, p.margin.1, p.margin.2),
             ]
         })

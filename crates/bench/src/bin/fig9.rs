@@ -28,7 +28,11 @@ fn main() {
         .map(|p| {
             vec![
                 p.epoch.to_string(),
-                format!("{:.2} ({:.0}%)", p.train_score, p.train_score / 15.0 * 100.0),
+                format!(
+                    "{:.2} ({:.0}%)",
+                    p.train_score,
+                    p.train_score / 15.0 * 100.0
+                ),
                 format!("{:.2} ({:.0}%)", p.val_score, p.val_score / 15.0 * 100.0),
             ]
         })

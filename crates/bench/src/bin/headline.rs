@@ -4,7 +4,7 @@
 //! pipeline seeds.
 
 #![allow(clippy::field_reassign_with_default)] // config structs are built by
-// mutating a Default, which reads better than giant struct-update literals
+                                               // mutating a Default, which reads better than giant struct-update literals
 
 use bench::fast_mode;
 use dpo_af::experiments::headline;

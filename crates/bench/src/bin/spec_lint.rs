@@ -1,88 +1,30 @@
-//! Rule-book sanity: lints the 15 driving specifications.
+//! Rule-book sanity: thin wrapper over the `speclint` static-analysis
+//! crate. Lints the driving and warehouse rule books (satisfiability,
+//! tautology, vacuity, conflicts, subsumption) plus the paper's
+//! demonstration controllers and step lists, and prints the findings.
 //!
-//! A rule that is unsatisfiable fails every controller; a tautology
-//! passes every controller; and a `□(a → b)` rule whose antecedent never
-//! occurs in a scenario constrains nothing there (vacuity). This tool
-//! runs all three checks so trust in the feedback signal rests on a
-//! lint-clean rule book — the spec-authoring hygiene NuSMV users get from
-//! `check_ltlspec` warnings.
+//! For machine-readable output or CI gating use the `speclint` binary
+//! (`cargo run -p speclint -- --format json` / `--deny-warnings`).
 
-use autokit::{presets::DrivingDomain, ActSet, ControllerBuilder, DeadlockPolicy, Guard, Product};
-use bench::table;
-use dpo_af::feedback::scenario_model;
-use drivesim::ScenarioKind;
-use ltlcheck::analysis::{satisfiable, valid, vacuous_pass, Vacuity};
-use ltlcheck::specs::driving_specs;
+use speclint::presets::{driving_input, warehouse_input};
+use speclint::Tally;
 
 fn main() {
-    let d = DrivingDomain::new();
-    let specs = driving_specs(&d);
+    let mut diags = speclint::run(&driving_input());
+    diags.extend(speclint::run(&warehouse_input()));
 
-    // Global formula checks.
-    let mut rows = Vec::new();
-    for s in &specs {
-        rows.push(vec![
-            s.name.clone(),
-            if satisfiable(&s.formula) { "yes" } else { "NO" }.into(),
-            if valid(&s.formula) { "TAUTOLOGY" } else { "no" }.into(),
-            s.description.clone(),
-        ]);
+    for d in &diags {
+        println!("{d}");
     }
+    let tally = Tally::of(&diags);
     println!(
-        "{}",
-        table(
-            "rule-book lint — formula-level checks",
-            &["spec", "satisfiable", "tautology", "meaning"],
-            &rows
-        )
-    );
-
-    // Per-scenario vacuity against a maximally permissive controller
-    // (every action always allowed): if a rule passes vacuously even
-    // under full behavioural freedom, its antecedent is unreachable in
-    // that scenario.
-    let mut free = ControllerBuilder::new("free", 1).initial(0);
-    for (i, act) in [d.stop, d.turn_left, d.turn_right, d.go_straight]
-        .into_iter()
-        .enumerate()
-    {
-        free = free.transition(0, Guard::always(), ActSet::singleton(act), 0);
-        let _ = i;
-    }
-    let free = free.build().expect("valid controller");
-
-    let mut rows = Vec::new();
-    for kind in ScenarioKind::all() {
-        let model = scenario_model(&d, kind);
-        let product = Product::build(&model, &free);
-        let graph = product.label_graph(DeadlockPolicy::Stutter);
-        let vacuous: Vec<String> = specs
-            .iter()
-            .filter_map(|s| match vacuous_pass(&graph, &s.formula) {
-                Some(Vacuity::UnreachableAntecedent(_)) => Some(s.name.clone()),
-                Some(Vacuity::Tautology) => Some(format!("{} (taut.)", s.name)),
-                None => None,
-            })
-            .collect();
-        rows.push(vec![
-            format!("{kind:?}"),
-            if vacuous.is_empty() {
-                "-".into()
-            } else {
-                vacuous.join(", ")
-            },
-        ]);
-    }
-    println!(
-        "{}",
-        table(
-            "rule-book lint — per-scenario vacuous passes (unreachable antecedents)",
-            &["scenario", "vacuously satisfied rules"],
-            &rows
-        )
+        "speclint: {} error(s), {} warning(s), {} note(s)",
+        tally.errors, tally.warnings, tally.notes
     );
     println!(
-        "vacuous entries are expected: e.g. stop-sign rules cannot trigger at a\n\
-         traffic light. They simply do not constrain that scenario."
+        "note-level entries are expected: e.g. stop-sign rules cannot trigger\n\
+         at a traffic light (vacuous pass) — they simply do not constrain\n\
+         that scenario."
     );
+    assert_eq!(tally.errors, 0, "shipped rule books must lint clean");
 }

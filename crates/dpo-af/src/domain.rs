@@ -88,17 +88,33 @@ fn prop_surfaces(d: &DrivingDomain, p: PropId) -> Vec<&'static str> {
     if p == d.green_tl {
         vec!["green traffic light", "green light", "light is green"]
     } else if p == d.green_ll {
-        vec!["green left-turn light", "green arrow", "left-turn light is green"]
+        vec![
+            "green left-turn light",
+            "green arrow",
+            "left-turn light is green",
+        ]
     } else if p == d.opposite_car {
         vec!["opposite car", "oncoming traffic", "oncoming vehicle"]
     } else if p == d.car_left {
-        vec!["car from left", "car from the left", "car approaching from the left"]
+        vec![
+            "car from left",
+            "car from the left",
+            "car approaching from the left",
+        ]
     } else if p == d.car_right {
-        vec!["car from right", "car from the right", "traffic from your right"]
+        vec![
+            "car from right",
+            "car from the right",
+            "traffic from your right",
+        ]
     } else if p == d.ped_left {
         vec!["pedestrian at left", "pedestrian on the left"]
     } else if p == d.ped_right {
-        vec!["pedestrian at right", "pedestrian on the right", "right side pedestrian"]
+        vec![
+            "pedestrian at right",
+            "pedestrian on the right",
+            "right side pedestrian",
+        ]
     } else if p == d.ped_front {
         vec!["pedestrian in front", "pedestrian ahead", "person crossing"]
     } else if p == d.stop_sign {
@@ -168,11 +184,9 @@ impl DomainBundle {
     /// Generates a pretraining corpus of `(task_id, tokens)` pairs with
     /// the quality mixture that yields the paper's ~60% pre-fine-tuning
     /// baseline.
-    pub fn pretraining_corpus(
-        &self,
-        size: usize,
-        rng: &mut impl Rng,
-    ) -> Vec<(usize, Vec<Token>)> {
+    // Tasks and surface lists are non-empty by construction.
+    #[allow(clippy::expect_used)]
+    pub fn pretraining_corpus(&self, size: usize, rng: &mut impl Rng) -> Vec<(usize, Vec<Token>)> {
         // Calibrated so that controllers sampled from the pre-trained
         // model satisfy ≈9 of 15 specifications — the paper's ~60%
         // pre-fine-tuning baseline.
@@ -320,11 +334,15 @@ fn build_tasks(d: &DrivingDomain) -> Vec<TaskSpec> {
     ]
 }
 
+// `choose` on a non-empty const slice cannot return `None`.
+#[allow(clippy::expect_used)]
 fn pick<'a>(options: &[&'a str], rng: &mut impl Rng) -> &'a str {
     options.choose(rng).expect("non-empty surface list")
 }
 
 /// Renders a response: step strings joined by ` ; `.
+// `choose` on a non-empty action set cannot return `None`.
+#[allow(clippy::expect_used)]
 pub fn render_response(
     d: &DrivingDomain,
     task: &TaskSpec,
@@ -403,18 +421,16 @@ pub fn render_response(
             vec![pick(&[action, "speed up and go straight"], rng).to_owned()]
         }
         Style::Unalignable => {
-            vec![
-                pick(
-                    &[
-                        "use your best judgment",
-                        "proceed when it feels safe",
-                        "do what the other drivers do",
-                        "trust your instincts and merge",
-                    ],
-                    rng,
-                )
-                .to_owned(),
-            ]
+            vec![pick(
+                &[
+                    "use your best judgment",
+                    "proceed when it feels safe",
+                    "do what the other drivers do",
+                    "trust your instincts and merge",
+                ],
+                rng,
+            )
+            .to_owned()]
         }
     };
     format!("{} .", steps.join(" ; "))
@@ -503,8 +519,9 @@ mod tests {
 
     #[test]
     fn split_steps_strips_numbering_and_period() {
-        let steps =
-            DomainBundle::split_steps("observe the green light ; if no car from left, turn right .");
+        let steps = DomainBundle::split_steps(
+            "observe the green light ; if no car from left, turn right .",
+        );
         assert_eq!(steps.len(), 2);
         assert_eq!(steps[0], "observe the green light");
         assert_eq!(steps[1], "if no car from left, turn right");

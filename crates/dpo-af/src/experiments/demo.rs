@@ -65,14 +65,22 @@ pub struct DemoComparison {
     pub smv_module: String,
 }
 
+// The paper's demonstration step lists align by construction (the
+// speclint presets tests assert the same invariant).
+#[allow(clippy::expect_used)]
 fn verify_steps(
     bundle: &DomainBundle,
     name: &str,
     steps: &[&str],
     scenario: ScenarioKind,
 ) -> (autokit::Controller, VerificationReport) {
-    let ctrl = synthesize(name, steps, &bundle.lexicon, crate::feedback::fsa_options(&bundle.driving))
-        .expect("paper demo steps align");
+    let ctrl = synthesize(
+        name,
+        steps,
+        &bundle.lexicon,
+        crate::feedback::fsa_options(&bundle.driving),
+    )
+    .expect("paper demo steps align");
     let ctrl = with_default_action(&ctrl, bundle.driving.stop);
     let model = scenario_model(&bundle.driving, scenario);
     let justice = justice_for(&bundle.driving, scenario);
@@ -247,7 +255,9 @@ mod tests {
     fn smv_exports_are_complete_modules() {
         let bundle = DomainBundle::new();
         let demo = right_turn(&bundle);
-        assert!(demo.smv_module.contains("MODULE turn_right_before_finetune"));
+        assert!(demo
+            .smv_module
+            .contains("MODULE turn_right_before_finetune"));
         assert!(demo.smv_module.contains("MODULE turn_right_after_finetune"));
         assert!(demo.smv_module.contains("LTLSPEC NAME phi_5"));
     }

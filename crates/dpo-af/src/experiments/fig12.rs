@@ -74,7 +74,11 @@ pub fn run(cfg: Fig12Config) -> Fig12Result {
         ObjectClass::all()
             .into_iter()
             .map(|class| {
-                let sim: Vec<_> = sim_dets.iter().filter(|d| d.class == class).copied().collect();
+                let sim: Vec<_> = sim_dets
+                    .iter()
+                    .filter(|d| d.class == class)
+                    .copied()
+                    .collect();
                 let real: Vec<_> = real_dets
                     .iter()
                     .filter(|d| d.class == class)
@@ -123,10 +127,8 @@ mod tests {
             );
             assert!(c.sim.count() > 100);
         }
-        let mean_consistent: f32 =
-            result.consistent.iter().map(|c| c.gap).sum::<f32>() / 4.0;
-        let mean_biased: f32 =
-            result.biased_gaps.iter().map(|&(_, g)| g).sum::<f32>() / 4.0;
+        let mean_consistent: f32 = result.consistent.iter().map(|c| c.gap).sum::<f32>() / 4.0;
+        let mean_biased: f32 = result.biased_gaps.iter().map(|&(_, g)| g).sum::<f32>() / 4.0;
         assert!(
             mean_biased > mean_consistent + 0.05,
             "bias should widen the gap: {mean_consistent} vs {mean_biased}"

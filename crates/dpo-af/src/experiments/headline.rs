@@ -21,6 +21,8 @@ pub struct HeadlineResult {
 /// epoch-0 point is "before", the final checkpoint is "after". Scores are
 /// averaged over training and validation tasks (they are reported per
 /// split in Figure 9; the abstract pools them).
+// `run()` always records the epoch-0 checkpoint before returning.
+#[allow(clippy::expect_used)]
 pub fn from_artifacts(artifacts: &RunArtifacts) -> HeadlineResult {
     let first = artifacts
         .checkpoint_evals
@@ -30,9 +32,8 @@ pub fn from_artifacts(artifacts: &RunArtifacts) -> HeadlineResult {
         .checkpoint_evals
         .last()
         .expect("runs record at least one point");
-    let pct = |e: &crate::pipeline::CheckpointEval| {
-        (e.train_score + e.val_score) / 2.0 / 15.0 * 100.0
-    };
+    let pct =
+        |e: &crate::pipeline::CheckpointEval| (e.train_score + e.val_score) / 2.0 / 15.0 * 100.0;
     HeadlineResult {
         before_pct: pct(first),
         after_pct: pct(last),

@@ -44,6 +44,8 @@ pub fn scenario_model(d: &DrivingDomain, kind: ScenarioKind) -> WorldModel {
 /// The scenario's justice assumptions: infinitely often, the intersection
 /// is clear (and its light, if any, is green) — i.e. the environment
 /// eventually gives the vehicle a chance to move.
+// The justice conditions are propositional by construction.
+#[allow(clippy::expect_used)]
 pub fn justice_for(d: &DrivingDomain, kind: ScenarioKind) -> Vec<Justice> {
     let clear_of = |props: &[autokit::PropId]| -> Ltl {
         Ltl::all(props.iter().map(|&p| Ltl::not(Ltl::prop(p))))
@@ -62,6 +64,52 @@ pub fn justice_for(d: &DrivingDomain, kind: ScenarioKind) -> Vec<Justice> {
         ScenarioKind::Roundabout => clear_of(&[d.car_left, d.ped_left, d.ped_right]),
     };
     vec![Justice::new("way eventually clears", condition).expect("propositional by construction")]
+}
+
+/// Pre-flight static analysis of the rule book: runs the `speclint` spec
+/// analyzers (satisfiability, tautology, conflicts, subsumption) and
+/// returns the `Error`-severity findings, if any.
+///
+/// The pipeline refuses to start on a rule book that fails this gate: an
+/// unsatisfiable or pairwise-conflicting rule would silently cap every
+/// response's score, corrupting the preference signal rather than merely
+/// weakening it.
+pub fn preflight_rule_book(d: &DrivingDomain) -> Result<(), Vec<speclint::Diagnostic>> {
+    let diags = speclint::lint_specs(&driving_specs(d), &[], Some(&d.vocab));
+    let errors: Vec<speclint::Diagnostic> = diags
+        .into_iter()
+        .filter(|diag| diag.severity == speclint::Severity::Error)
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Pre-flight static analysis of one response's step list: runs the
+/// `speclint` step analyzers and returns the `Error`-severity findings
+/// (unparseable steps), if any.
+///
+/// [`score_response`] calls this before model checking; a rejected
+/// response scores 0, the same rank the paper assigns to responses that
+/// fail to align (property-1 failures).
+pub fn preflight_response(
+    bundle: &DomainBundle,
+    task: &TaskSpec,
+    text: &str,
+) -> Result<(), Vec<speclint::Diagnostic>> {
+    let steps = DomainBundle::split_steps(text);
+    let diags = speclint::lint_steps(&task.prompt, &steps, &bundle.lexicon, &bundle.driving.vocab);
+    let errors: Vec<speclint::Diagnostic> = diags
+        .into_iter()
+        .filter(|diag| diag.severity == speclint::Severity::Error)
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
 }
 
 /// A response with its verification outcome.
@@ -84,18 +132,29 @@ pub struct ScoredResponse {
 ///
 /// Responses that fail to align (the paper's property-1 failure mode)
 /// score 0 and therefore rank below every verifiable response.
+///
+/// [`preflight_response`] gates the expensive work: a step list carrying
+/// lint-`Error` findings is rejected before any synthesis or model
+/// checking happens.
 pub fn score_response(bundle: &DomainBundle, task: &TaskSpec, text: &str) -> ScoredResponse {
+    let rejected = ScoredResponse {
+        text: text.to_owned(),
+        controller: None,
+        report: None,
+        num_satisfied: 0,
+    };
+    if preflight_response(bundle, task, text).is_err() {
+        return rejected;
+    }
     let steps = DomainBundle::split_steps(text);
-    let ctrl = match synthesize(&task.prompt, &steps, &bundle.lexicon, fsa_options(&bundle.driving)) {
+    let ctrl = match synthesize(
+        &task.prompt,
+        &steps,
+        &bundle.lexicon,
+        fsa_options(&bundle.driving),
+    ) {
         Ok(c) => c,
-        Err(_) => {
-            return ScoredResponse {
-                text: text.to_owned(),
-                controller: None,
-                report: None,
-                num_satisfied: 0,
-            }
-        }
+        Err(_) => return rejected,
     };
     // The paper's SMV encodings give the vehicle an action at every step:
     // an observing controller is a stopped controller.
@@ -207,6 +266,56 @@ mod tests {
             hasty.num_satisfied,
             reckless.num_satisfied
         );
+    }
+
+    #[test]
+    fn preflight_accepts_shipped_rule_book() {
+        let d = DrivingDomain::new();
+        assert!(preflight_rule_book(&d).is_ok());
+    }
+
+    /// The pre-flight gate consumes speclint's stable JSON schema: the
+    /// diagnostics round-trip through `serde_json` with their code,
+    /// severity, subject and message intact, and the gate rejects on the
+    /// parsed-back form exactly as on the in-memory one.
+    #[test]
+    fn preflight_rejects_unparseable_response_via_json_diagnostics() {
+        let bundle = DomainBundle::new();
+        let task = &bundle.tasks[0];
+        let text = "do a barrel roll across the intersection .";
+
+        let errors = preflight_response(&bundle, task, text).expect_err("must reject");
+        let json = serde_json::to_string(&errors).expect("diagnostics serialize");
+        let parsed: Vec<speclint::Diagnostic> =
+            serde_json::from_str(&json).expect("stable schema parses back");
+
+        assert!(!parsed.is_empty());
+        for diag in &parsed {
+            assert_eq!(diag.code.code(), "SL201", "{diag:?}");
+            assert_eq!(diag.severity, speclint::Severity::Error, "{diag:?}");
+            assert!(diag.location.subject.contains(&task.prompt), "{diag:?}");
+        }
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+
+        // The gate keeps the rejected response at the bottom of the
+        // ranking without running synthesis or model checking.
+        let scored = score_response(&bundle, task, text);
+        assert_eq!(scored.num_satisfied, 0);
+        assert!(scored.controller.is_none());
+    }
+
+    #[test]
+    fn preflight_accepts_careful_responses() {
+        let bundle = DomainBundle::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for task in &bundle.tasks {
+            let text = render_response(&bundle.driving, task, Style::Careful, &mut rng);
+            assert!(
+                preflight_response(&bundle, task, &text).is_ok(),
+                "careful response for `{}` rejected: `{text}`",
+                task.prompt
+            );
+        }
     }
 
     #[test]

@@ -184,8 +184,7 @@ impl RunArtifacts {
     /// Returns any I/O error from creating or writing the file.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Loads artifacts previously written by [`RunArtifacts::save`].
@@ -275,6 +274,9 @@ impl DpoAf {
     /// Samples `m` responses per training task per round, scores each by
     /// the configured feedback source, and assembles all strictly-ordered
     /// preference pairs.
+    // Task ids come from the bundle itself, so sampling cannot see an
+    // out-of-range id; fail loudly if it somehow does.
+    #[allow(clippy::expect_used)]
     pub fn collect_dataset(&self, lm: &CondLm, rng: &mut impl Rng) -> PreferenceDataset {
         let opts = SampleOptions {
             temperature: self.config.temperature,
@@ -285,9 +287,7 @@ impl DpoAf {
         for _ in 0..self.config.rounds {
             for &tid in &self.training_tasks() {
                 let task = &self.bundle.tasks[tid];
-                let scored: Vec<(Vec<tinylm::Token>, usize)> = (0..self
-                    .config
-                    .responses_per_task)
+                let scored: Vec<(Vec<tinylm::Token>, usize)> = (0..self.config.responses_per_task)
                     .map(|_| {
                         let tokens = lm.sample(tid, rng, opts).expect("task id in range");
                         let score = self.score(task, &tokens, rng);
@@ -302,6 +302,9 @@ impl DpoAf {
 
     /// Mean number of satisfied specifications over `eval_samples`
     /// responses per listed task.
+    // Task ids come from the bundle itself, so sampling cannot see an
+    // out-of-range id; fail loudly if it somehow does.
+    #[allow(clippy::expect_used)]
     pub fn evaluate(&self, lm: &CondLm, tasks: &[usize], rng: &mut impl Rng) -> f64 {
         let opts = SampleOptions {
             temperature: self.config.eval_temperature,
@@ -332,7 +335,17 @@ impl DpoAf {
     /// The returned `reference` is the original pre-trained model (the
     /// "before fine-tuning" baseline); each iteration's DPO reference is
     /// the policy snapshot entering that iteration.
+    // Task ids come from the bundle itself, so training cannot see
+    // out-of-vocabulary tokens; fail loudly if it somehow does.
+    #[allow(clippy::expect_used)]
     pub fn run(&self) -> RunArtifacts {
+        // Pre-flight: a rule book with lint errors (unsatisfiable or
+        // pairwise-conflicting rules) would cap every response's score and
+        // corrupt the preference signal, so refuse to train on one.
+        if let Err(errors) = crate::feedback::preflight_rule_book(&self.bundle.driving) {
+            panic!("driving rule book failed the speclint pre-flight gate: {errors:?}");
+        }
+
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pretrained = self.pretrained_lm(&mut rng);
 
@@ -442,22 +455,31 @@ mod tests {
         let task = &pipeline.bundle.tasks[0];
         // A careful response scores higher than a reckless one under the
         // simulator-based signal too.
-        let careful = pipeline.bundle.tokenizer.encode(&crate::domain::render_response(
-            &pipeline.bundle.driving,
-            task,
-            crate::domain::Style::Careful,
-            &mut rng,
-        ));
-        let reckless = pipeline.bundle.tokenizer.encode(&crate::domain::render_response(
-            &pipeline.bundle.driving,
-            task,
-            crate::domain::Style::Reckless,
-            &mut rng,
-        ));
+        let careful = pipeline
+            .bundle
+            .tokenizer
+            .encode(&crate::domain::render_response(
+                &pipeline.bundle.driving,
+                task,
+                crate::domain::Style::Careful,
+                &mut rng,
+            ));
+        let reckless = pipeline
+            .bundle
+            .tokenizer
+            .encode(&crate::domain::render_response(
+                &pipeline.bundle.driving,
+                task,
+                crate::domain::Style::Reckless,
+                &mut rng,
+            ));
         let c = pipeline.score(task, &careful, &mut rng);
         let r = pipeline.score(task, &reckless, &mut rng);
         assert!(c <= 15 && r <= 15);
-        assert!(c > r, "careful {c} !> reckless {r} under empirical feedback");
+        assert!(
+            c > r,
+            "careful {c} !> reckless {r} under empirical feedback"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::loss::dpo_loss_grad;
-use crate::{PreferenceDataset, PairEval};
+use crate::{PairEval, PreferenceDataset};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -107,8 +107,7 @@ impl DpoTrainer {
             for batch in epoch_pairs.chunks(opts.batch_size) {
                 let mut grad = GradBuffer::zeros(policy);
                 for &i in batch {
-                    let (eval, g) =
-                        dpo_loss_grad(policy, reference, &dataset.pairs[i], opts.beta)?;
+                    let (eval, g) = dpo_loss_grad(policy, reference, &dataset.pairs[i], opts.beta)?;
                     sum.loss += eval.loss;
                     sum.correct += eval.correct;
                     sum.margin += eval.margin;
@@ -207,7 +206,10 @@ mod tests {
                 seen.push((e, m.params().len()));
             })
             .unwrap();
-        assert_eq!(seen.iter().map(|&(e, _)| e).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            seen.iter().map(|&(e, _)| e).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -230,7 +232,9 @@ mod tests {
         let run = |seed: u64| {
             let mut p = policy0.clone();
             let mut rng = StdRng::seed_from_u64(seed);
-            let stats = trainer.train(&mut p, &reference, &ds, &mut rng, |_, _| {}).unwrap();
+            let stats = trainer
+                .train(&mut p, &reference, &ds, &mut rng, |_, _| {})
+                .unwrap();
             (p, stats)
         };
         let (p1, s1) = run(7);

@@ -80,10 +80,7 @@ fn detect(trace: &Trace, d: &DrivingDomain, scenario: Option<ScenarioKind>) -> V
                 kind: IncidentKind::UnsafeRightTurn,
             });
         }
-        if act.contains(d.turn_left)
-            && obs.contains(d.opposite_car)
-            && !obs.contains(d.green_ll)
-        {
+        if act.contains(d.turn_left) && obs.contains(d.opposite_car) && !obs.contains(d.green_ll) {
             out.push(Incident {
                 step: i,
                 kind: IncidentKind::UnsafeLeftTurn,
@@ -147,7 +144,10 @@ mod tests {
     fn red_light_running_detected_only_at_lights() {
         let d = DrivingDomain::new();
         let mut at_light = Trace::new();
-        at_light.push(Step::new(PropSet::empty(), ActSet::singleton(d.go_straight)));
+        at_light.push(Step::new(
+            PropSet::empty(),
+            ActSet::singleton(d.go_straight),
+        ));
         assert_eq!(
             detect_incidents(&at_light, &d)[0].kind,
             IncidentKind::RanRedLight

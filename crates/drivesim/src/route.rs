@@ -88,13 +88,27 @@ pub fn drive_route(
             scenario.advance(rng);
             if !action.is_disjoint(leg.completes_on) {
                 // Leg done; attribute this leg's incidents and move on.
-                attribute_incidents(&trace, leg_start, leg_idx, leg.scenario, domain, &mut incidents);
+                attribute_incidents(
+                    &trace,
+                    leg_start,
+                    leg_idx,
+                    leg.scenario,
+                    domain,
+                    &mut incidents,
+                );
                 legs_completed += 1;
                 continue 'legs;
             }
         }
         // Timed out: stuck on this leg.
-        attribute_incidents(&trace, leg_start, leg_idx, leg.scenario, domain, &mut incidents);
+        attribute_incidents(
+            &trace,
+            leg_start,
+            leg_idx,
+            leg.scenario,
+            domain,
+            &mut incidents,
+        );
         break;
     }
 
@@ -178,8 +192,18 @@ mod tests {
                 ActSet::singleton(act),
                 0,
             )
-            .transition(0, Guard::always().requires(d.car_left), ActSet::singleton(d.stop), 0)
-            .transition(0, Guard::always().requires(d.ped_front), ActSet::singleton(d.stop), 0)
+            .transition(
+                0,
+                Guard::always().requires(d.car_left),
+                ActSet::singleton(d.stop),
+                0,
+            )
+            .transition(
+                0,
+                Guard::always().requires(d.ped_front),
+                ActSet::singleton(d.stop),
+                0,
+            )
             .build()
             .unwrap()
     }
@@ -203,7 +227,14 @@ mod tests {
             .map(|leg| eager(&d, leg.completes_on.iter().next().unwrap()))
             .collect();
         let mut rng = StdRng::seed_from_u64(5);
-        let outcome = drive_route(&route, &controllers, &d, ScenarioConfig::default(), &mut rng, 60);
+        let outcome = drive_route(
+            &route,
+            &controllers,
+            &d,
+            ScenarioConfig::default(),
+            &mut rng,
+            60,
+        );
         assert!(outcome.completed, "{outcome:?}");
         assert_eq!(outcome.legs_completed, 5);
         assert!(!outcome.trace.is_empty());
@@ -213,10 +244,16 @@ mod tests {
     fn frozen_controller_stalls_the_mission() {
         let d = domain();
         let route = Route::commute(&d);
-        let controllers: Vec<Controller> =
-            route.legs.iter().map(|_| frozen(&d)).collect();
+        let controllers: Vec<Controller> = route.legs.iter().map(|_| frozen(&d)).collect();
         let mut rng = StdRng::seed_from_u64(6);
-        let outcome = drive_route(&route, &controllers, &d, ScenarioConfig::default(), &mut rng, 20);
+        let outcome = drive_route(
+            &route,
+            &controllers,
+            &d,
+            ScenarioConfig::default(),
+            &mut rng,
+            20,
+        );
         assert_eq!(outcome.legs_completed, 0);
         assert!(!outcome.completed);
         // The trace covers exactly the stalled first leg.

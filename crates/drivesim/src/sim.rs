@@ -33,7 +33,14 @@ pub fn ground(
     rng: &mut impl Rng,
     steps: usize,
 ) -> Trace {
-    ground_with_policy(ctrl, scenario, domain, rng, steps, ExecutionPolicy::default())
+    ground_with_policy(
+        ctrl,
+        scenario,
+        domain,
+        rng,
+        steps,
+        ExecutionPolicy::default(),
+    )
 }
 
 /// [`ground`] with an explicit non-determinism policy.
@@ -140,7 +147,10 @@ mod tests {
     fn deadlocked_controller_emits_epsilon() {
         let d = domain();
         // No transitions at all: always ε, never moves.
-        let ctrl = ControllerBuilder::new("stuck", 1).initial(0).build().unwrap();
+        let ctrl = ControllerBuilder::new("stuck", 1)
+            .initial(0)
+            .build()
+            .unwrap();
         let mut scenario = Scenario::new(ScenarioKind::WideMedian, ScenarioConfig::default());
         let mut rng = StdRng::seed_from_u64(2);
         let trace = ground(&ctrl, &mut scenario, &d, &mut rng, 10);
@@ -167,8 +177,7 @@ mod tests {
         let d = domain();
         let ctrl = light_follower(&d);
         let run = |seed| {
-            let mut scenario =
-                Scenario::new(ScenarioKind::TrafficLight, ScenarioConfig::default());
+            let mut scenario = Scenario::new(ScenarioKind::TrafficLight, ScenarioConfig::default());
             let mut rng = StdRng::seed_from_u64(seed);
             ground(&ctrl, &mut scenario, &d, &mut rng, 30)
         };
@@ -286,6 +295,9 @@ mod tests {
         // pedestrians, so some traces should violate it.
         let phi14 = &specs[13].formula;
         let rate14 = ltlcheck::finite::satisfaction_rate(traces.iter(), phi14);
-        assert!(rate14 < 1.0, "follower should sometimes hit phi_14: {rate14}");
+        assert!(
+            rate14 < 1.0,
+            "follower should sometimes hit phi_14: {rate14}"
+        );
     }
 }

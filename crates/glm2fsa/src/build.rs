@@ -88,6 +88,7 @@ pub fn build_controller(name: &str, steps: &[ParsedStep], options: FsaOptions) -
             builder = builder.transition(i, neg, ActSet::empty(), else_target);
         }
     }
+    #[allow(clippy::expect_used)] // indices are in range by construction
     builder
         .build()
         .expect("construction is structurally valid by construction")
@@ -102,7 +103,8 @@ pub fn build_controller(name: &str, steps: &[ParsedStep], options: FsaOptions) -
 /// reproduces that encoding; specifications like Φ₆ (*"always commit to
 /// some action"*) are unsatisfiable without it.
 pub fn with_default_action(ctrl: &Controller, default: ActId) -> Controller {
-    let mut builder = ControllerBuilder::new(ctrl.name(), ctrl.num_states()).initial(ctrl.initial());
+    let mut builder =
+        ControllerBuilder::new(ctrl.name(), ctrl.num_states()).initial(ctrl.initial());
     for t in ctrl.transitions() {
         let action = if t.action.is_empty() {
             ActSet::singleton(default)
@@ -111,6 +113,7 @@ pub fn with_default_action(ctrl: &Controller, default: ActId) -> Controller {
         };
         builder = builder.transition(t.from, t.guard, action, t.to);
     }
+    #[allow(clippy::expect_used)] // copies a valid controller's shape
     builder.build().expect("same shape as a valid controller")
 }
 

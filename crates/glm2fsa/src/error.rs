@@ -30,7 +30,13 @@ impl fmt::Display for SynthesisError {
                 index,
                 text,
                 reason,
-            } => write!(f, "step {} (`{}`) failed to align: {}", index + 1, text, reason),
+            } => write!(
+                f,
+                "step {} (`{}`) failed to align: {}",
+                index + 1,
+                text,
+                reason
+            ),
         }
     }
 }

@@ -403,9 +403,6 @@ mod tests {
     #[test]
     fn case_insensitive_hyphen_handling() {
         let (d, l) = lex();
-        assert_eq!(
-            l.find_props("Green Left-Turn Light"),
-            vec![(0, d.green_ll)]
-        );
+        assert_eq!(l.find_props("Green Left-Turn Light"), vec![(0, d.green_ll)]);
     }
 }

@@ -108,9 +108,7 @@ fn parse_condition(condition: &str, lexicon: &Lexicon) -> Result<Guard, String> 
             // alignment failure.
             continue;
         }
-        let negated = segment
-            .split(' ')
-            .any(|w| NEGATION_WORDS.contains(&w));
+        let negated = segment.split(' ').any(|w| NEGATION_WORDS.contains(&w));
         for (_, p) in props {
             if negated {
                 guard = guard.forbids(p);
@@ -137,7 +135,11 @@ fn parse_clause(clause: &str, lexicon: &Lexicon) -> Result<StepKind, String> {
         return Ok(StepKind::Act(ActSet::singleton(first)));
     }
     let has_observe_verb = clause.split(' ').any(|w| OBSERVE_VERBS.contains(&w));
-    let props: PropSet = lexicon.find_props(clause).into_iter().map(|(_, p)| p).collect();
+    let props: PropSet = lexicon
+        .find_props(clause)
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect();
     if has_observe_verb || !props.is_empty() {
         return Ok(StepKind::Observe(props));
     }
@@ -217,17 +219,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(step.guard, Guard::always().forbids(d.car_left));
-        assert_eq!(step.kind, StepKind::Observe(PropSet::singleton(d.ped_right)));
+        assert_eq!(
+            step.kind,
+            StepKind::Observe(PropSet::singleton(d.ped_right))
+        );
     }
 
     #[test]
     fn when_is_a_conditional_marker() {
         let (d, l) = setup();
-        let step = parse_step(
-            "When the left turn signal is green, turn left.",
-            &l,
-        )
-        .unwrap();
+        let step = parse_step("When the left turn signal is green, turn left.", &l).unwrap();
         assert_eq!(step.guard, Guard::always().requires(d.green_ll));
         assert_eq!(step.kind, StepKind::Act(ActSet::singleton(d.turn_left)));
     }
@@ -247,11 +248,7 @@ mod tests {
     #[test]
     fn paraphrased_steps_align() {
         let (d, l) = setup();
-        let step = parse_step(
-            "If there is no oncoming traffic, make a left turn.",
-            &l,
-        )
-        .unwrap();
+        let step = parse_step("If there is no oncoming traffic, make a left turn.", &l).unwrap();
         assert_eq!(step.guard, Guard::always().forbids(d.opposite_car));
         assert_eq!(step.kind, StepKind::Act(ActSet::singleton(d.turn_left)));
     }

@@ -127,10 +127,7 @@ pub fn vacuous_pass(graph: &LabelGraph, phi: &Ltl) -> Option<Vacuity> {
         if **l == Ltl::False {
             if let Ltl::Or(not_a, _) = &**r {
                 if let Ltl::Not(a) = &**not_a {
-                    let never_a = Ltl::Release(
-                        Arc::new(Ltl::False),
-                        Arc::new(Ltl::Not(a.clone())),
-                    );
+                    let never_a = Ltl::Release(Arc::new(Ltl::False), Arc::new(Ltl::Not(a.clone())));
                     if check_graph(graph, &never_a).holds() {
                         return Some(Vacuity::UnreachableAntecedent((**a).clone()));
                     }
@@ -177,7 +174,14 @@ mod tests {
     #[test]
     fn validity_basics() {
         let v = vocab();
-        for val in ["true", "a | !a", "F true", "G true", "(G a) -> a", "(a & b) -> a"] {
+        for val in [
+            "true",
+            "a | !a",
+            "F true",
+            "G true",
+            "(G a) -> a",
+            "(a & b) -> a",
+        ] {
             assert!(valid(&parse(val, &v).unwrap()), "{val}");
         }
         for inval in ["a", "G a", "F a"] {

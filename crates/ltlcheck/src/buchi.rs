@@ -67,6 +67,14 @@ impl Closure {
         self.index.get(phi).copied()
     }
 
+    /// Id of an interned subformula. The closure is built over every
+    /// subformula of the root, so a miss during expansion is a
+    /// construction bug, not an input condition.
+    #[allow(clippy::expect_used)]
+    fn id_of(&self, phi: &Ltl) -> u32 {
+        self.id(phi).expect("subformula interned")
+    }
+
     fn get(&self, id: u32) -> &Ltl {
         &self.formulas[id as usize]
     }
@@ -177,7 +185,7 @@ fn expand_all(phi: &Ltl, closure: &Closure) -> Vec<TNode> {
     // Dedup map keyed on (old, next) as in the algorithm's merge step.
     let mut seen: HashMap<(FSet, FSet), usize> = HashMap::new();
 
-    let phi_id = closure.id(phi).expect("root formula interned");
+    let phi_id = closure.id_of(phi);
     let root = TNode {
         incoming: vec![INIT],
         new: bit(phi_id),
@@ -248,19 +256,13 @@ fn expand(
             expand(node, closure, nodes, seen);
         }
         Ltl::And(l, r) => {
-            let (lid, rid) = (
-                closure.id(l).expect("subformula interned"),
-                closure.id(r).expect("subformula interned"),
-            );
+            let (lid, rid) = (closure.id_of(l), closure.id_of(r));
             node.old |= bit(f_id);
             node.new |= (bit(lid) | bit(rid)) & !node.old;
             expand(node, closure, nodes, seen);
         }
         Ltl::Or(l, r) => {
-            let (lid, rid) = (
-                closure.id(l).expect("subformula interned"),
-                closure.id(r).expect("subformula interned"),
-            );
+            let (lid, rid) = (closure.id_of(l), closure.id_of(r));
             let mut n1 = node.clone();
             n1.old |= bit(f_id);
             n1.new |= bit(lid) & !n1.old;
@@ -271,16 +273,13 @@ fn expand(
             expand(n2, closure, nodes, seen);
         }
         Ltl::Next(inner) => {
-            let iid = closure.id(inner).expect("subformula interned");
+            let iid = closure.id_of(inner);
             node.old |= bit(f_id);
             node.next |= bit(iid);
             expand(node, closure, nodes, seen);
         }
         Ltl::Until(l, r) => {
-            let (lid, rid) = (
-                closure.id(l).expect("subformula interned"),
-                closure.id(r).expect("subformula interned"),
-            );
+            let (lid, rid) = (closure.id_of(l), closure.id_of(r));
             // μ U ψ  ≡  ψ ∨ (μ ∧ X(μ U ψ))
             let mut n1 = node.clone();
             n1.old |= bit(f_id);
@@ -293,10 +292,7 @@ fn expand(
             expand(n2, closure, nodes, seen);
         }
         Ltl::Release(l, r) => {
-            let (lid, rid) = (
-                closure.id(l).expect("subformula interned"),
-                closure.id(r).expect("subformula interned"),
-            );
+            let (lid, rid) = (closure.id_of(l), closure.id_of(r));
             // μ R ψ  ≡  (ψ ∧ μ) ∨ (ψ ∧ X(μ R ψ))
             let mut n1 = node.clone();
             n1.old |= bit(f_id);
@@ -430,7 +426,13 @@ mod tests {
             }
         };
         // Position space collapses to p + c distinct indices.
-        let norm = |pos: usize| -> usize { if pos < p { pos } else { p + (pos - p) % c } };
+        let norm = |pos: usize| -> usize {
+            if pos < p {
+                pos
+            } else {
+                p + (pos - p) % c
+            }
+        };
         // BFS over (word position, buchi state); find a reachable accepting
         // cycle in the finite product (positions wrap inside the lasso
         // cycle).

@@ -179,27 +179,54 @@ mod tests {
     #[test]
     fn finite_until_requires_witness() {
         let v = vocab();
-        assert!(satisfies(&trace_of(&v, &[1, 1, 2]), &parse("a U b", &v).unwrap()));
+        assert!(satisfies(
+            &trace_of(&v, &[1, 1, 2]),
+            &parse("a U b", &v).unwrap()
+        ));
         // a forever but b never arrives: fails on finite traces.
-        assert!(!satisfies(&trace_of(&v, &[1, 1, 1]), &parse("a U b", &v).unwrap()));
+        assert!(!satisfies(
+            &trace_of(&v, &[1, 1, 1]),
+            &parse("a U b", &v).unwrap()
+        ));
     }
 
     #[test]
     fn globally_and_eventually() {
         let v = vocab();
-        assert!(satisfies(&trace_of(&v, &[1, 1, 1]), &parse("G a", &v).unwrap()));
-        assert!(!satisfies(&trace_of(&v, &[1, 0, 1]), &parse("G a", &v).unwrap()));
-        assert!(satisfies(&trace_of(&v, &[0, 0, 2]), &parse("F b", &v).unwrap()));
-        assert!(!satisfies(&trace_of(&v, &[0, 0, 0]), &parse("F b", &v).unwrap()));
+        assert!(satisfies(
+            &trace_of(&v, &[1, 1, 1]),
+            &parse("G a", &v).unwrap()
+        ));
+        assert!(!satisfies(
+            &trace_of(&v, &[1, 0, 1]),
+            &parse("G a", &v).unwrap()
+        ));
+        assert!(satisfies(
+            &trace_of(&v, &[0, 0, 2]),
+            &parse("F b", &v).unwrap()
+        ));
+        assert!(!satisfies(
+            &trace_of(&v, &[0, 0, 0]),
+            &parse("F b", &v).unwrap()
+        ));
     }
 
     #[test]
     fn release_weak_at_end() {
         let v = vocab();
         // b holds to the end without a ever releasing: satisfied (weak).
-        assert!(satisfies(&trace_of(&v, &[2, 2, 2]), &parse("a R b", &v).unwrap()));
-        assert!(satisfies(&trace_of(&v, &[2, 3]), &parse("a R b", &v).unwrap()));
-        assert!(!satisfies(&trace_of(&v, &[2, 0]), &parse("a R b", &v).unwrap()));
+        assert!(satisfies(
+            &trace_of(&v, &[2, 2, 2]),
+            &parse("a R b", &v).unwrap()
+        ));
+        assert!(satisfies(
+            &trace_of(&v, &[2, 3]),
+            &parse("a R b", &v).unwrap()
+        ));
+        assert!(!satisfies(
+            &trace_of(&v, &[2, 0]),
+            &parse("a R b", &v).unwrap()
+        ));
     }
 
     #[test]

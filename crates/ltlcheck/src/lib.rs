@@ -58,21 +58,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod ast;
 pub mod analysis;
+mod ast;
 mod buchi;
 pub mod finite;
 mod mc;
 mod parser;
 pub mod smv;
-pub mod symbolic;
 pub mod specs;
+pub mod symbolic;
 
 pub use ast::{Atom, Ltl};
 pub use buchi::{Buchi, BuchiState, MAX_CLOSURE};
 pub use mc::{
     check_graph, check_graph_fair, holds_on_lasso, verify, verify_all, verify_all_fair,
-    verify_fair, Counterexample, CexStep, Justice, NonPropositionalError, SpecResult, Verdict,
+    verify_fair, CexStep, Counterexample, Justice, NonPropositionalError, SpecResult, Verdict,
     VerificationReport,
 };
 pub use parser::{parse, ParseLtlError};

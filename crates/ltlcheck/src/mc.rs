@@ -137,7 +137,10 @@ pub struct NonPropositionalError;
 
 impl fmt::Display for NonPropositionalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "justice conditions must be propositional (no temporal operators)")
+        write!(
+            f,
+            "justice conditions must be propositional (no temporal operators)"
+        )
     }
 }
 
@@ -333,6 +336,10 @@ type PState = (u32, u32);
 /// Searches `graph ⊗ buchi` for a reachable SCC that contains a
 /// Büchi-accepting state and a witness of every justice condition —
 /// generalized Büchi emptiness via SCC decomposition.
+// Tarjan stacks, SCC membership and witness lookups are internal
+// invariants of the decomposition: an `expect` failure here is a bug in
+// this function, never an input condition.
+#[allow(clippy::expect_used)]
 fn find_fair_lasso(
     graph: &LabelGraph,
     buchi: &Buchi,
@@ -480,9 +487,8 @@ fn find_fair_lasso(
         }
     }
 
-    let target_comp = (0..num_comps).find(|&c| {
-        has_edge[c] && accept[c] && (0..nf).all(|j| fair[c][j])
-    })?;
+    let target_comp =
+        (0..num_comps).find(|&c| has_edge[c] && accept[c] && (0..nf).all(|j| fair[c][j]))?;
 
     // --- counterexample extraction --------------------------------------
     // Entry: any state of the SCC discovered earliest in the BFS.
@@ -572,7 +578,12 @@ fn find_fair_lasso(
     // `cycle_ids` holds the states *after* entry around the loop; the cycle
     // itself starts at entry.
     let mut full_cycle = vec![entry];
-    full_cycle.extend(cycle_ids.iter().copied().take(cycle_ids.len().saturating_sub(1)));
+    full_cycle.extend(
+        cycle_ids
+            .iter()
+            .copied()
+            .take(cycle_ids.len().saturating_sub(1)),
+    );
     // The final element of cycle_ids is `entry` again (dropped above); if
     // the loop was a pure self-loop, full_cycle is just [entry].
 
@@ -604,7 +615,11 @@ fn find_fair_lasso(
 ///
 /// Panics if `cycle` is empty — an ultimately periodic word needs a
 /// non-empty repeating part.
-pub fn holds_on_lasso(phi: &Ltl, prefix: &[(PropSet, ActSet)], cycle: &[(PropSet, ActSet)]) -> bool {
+pub fn holds_on_lasso(
+    phi: &Ltl,
+    prefix: &[(PropSet, ActSet)],
+    cycle: &[(PropSet, ActSet)],
+) -> bool {
     assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
     let p = prefix.len();
     let n = p + cycle.len();
@@ -638,7 +653,10 @@ pub fn holds_on_lasso(phi: &Ltl, prefix: &[(PropSet, ActSet)], cycle: &[(PropSet
                     a.holds(props, acts)
                 })
                 .collect(),
-            Ltl::Not(inner) => eval(inner, n, succ, label).into_iter().map(|b| !b).collect(),
+            Ltl::Not(inner) => eval(inner, n, succ, label)
+                .into_iter()
+                .map(|b| !b)
+                .collect(),
             Ltl::And(l, r) => {
                 let (lv, rv) = (eval(l, n, succ, label), eval(r, n, succ, label));
                 lv.into_iter().zip(rv).map(|(a, b)| a && b).collect()
@@ -721,7 +739,12 @@ mod tests {
         ControllerBuilder::new("good", 1)
             .initial(0)
             .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
-            .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+            .transition(
+                0,
+                Guard::always().forbids(green),
+                ActSet::singleton(stop),
+                0,
+            )
             .build()
             .unwrap()
     }
@@ -809,7 +832,12 @@ mod tests {
         let waiter = ControllerBuilder::new("waiter", 1)
             .initial(0)
             .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
-            .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+            .transition(
+                0,
+                Guard::always().forbids(green),
+                ActSet::singleton(stop),
+                0,
+            )
             .build()
             .unwrap();
         // Without fairness, the adversary keeps the light red forever and
@@ -848,8 +876,7 @@ mod tests {
         let ctrl = reckless_controller(&v);
         let phi = parse("false", &v).unwrap();
         // `green & ped` never holds in this model.
-        let justice =
-            [Justice::new("impossible", parse("green & ped", &v).unwrap()).unwrap()];
+        let justice = [Justice::new("impossible", parse("green & ped", &v).unwrap()).unwrap()];
         assert!(verify_fair(&model, &ctrl, &phi, &justice).holds());
     }
 

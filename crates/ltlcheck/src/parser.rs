@@ -65,7 +65,7 @@ impl<'a> Lexer<'a> {
         while self.pos < self.bytes.len() {
             let start = self.pos;
             let rest = &self.src[self.pos..];
-            let c = rest.chars().next().expect("non-empty");
+            let Some(c) = rest.chars().next() else { break };
             let tok = match c {
                 ' ' | '\t' | '\n' | '\r' => {
                     self.pos += 1;
@@ -451,10 +451,7 @@ mod tests {
         let (a, b) = (v.prop("a").unwrap(), v.prop("b").unwrap());
         assert_eq!(
             parse("G a -> F b", &v).unwrap(),
-            Ltl::implies(
-                Ltl::always(Ltl::prop(a)),
-                Ltl::eventually(Ltl::prop(b))
-            )
+            Ltl::implies(Ltl::always(Ltl::prop(a)), Ltl::eventually(Ltl::prop(b)))
         );
         assert_eq!(
             parse("a U b", &v).unwrap(),

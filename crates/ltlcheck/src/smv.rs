@@ -234,7 +234,12 @@ mod tests {
     fn module_contains_vars_trans_and_specs() {
         let (v, ctrl) = setup();
         let phi = parse("G(\"car from left\" -> stop)", &v).unwrap();
-        let text = render_module("turn_right_before_finetune", &ctrl, &v, &[("phi_5".into(), phi)]);
+        let text = render_module(
+            "turn_right_before_finetune",
+            &ctrl,
+            &v,
+            &[("phi_5".into(), phi)],
+        );
         assert!(text.contains("MODULE turn_right_before_finetune"));
         assert!(text.contains("green_traffic_light : boolean;"));
         assert!(text.contains("q : 0..1;"));

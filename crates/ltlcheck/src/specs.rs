@@ -63,7 +63,10 @@ pub fn driving_specs(d: &DrivingDomain) -> Vec<Spec> {
             "phi_1",
             "a pedestrian anywhere eventually forces a stop",
             // Φ₁ = □(pedestrian → ◇ stop)
-            Ltl::always(Ltl::implies(pedestrian.clone(), Ltl::eventually(stop.clone()))),
+            Ltl::always(Ltl::implies(
+                pedestrian.clone(),
+                Ltl::eventually(stop.clone()),
+            )),
         ),
         spec(
             "phi_2",
@@ -87,7 +90,10 @@ pub fn driving_specs(d: &DrivingDomain) -> Vec<Spec> {
             "phi_4",
             "a stop sign eventually forces a stop",
             // Φ₄ = □(stop sign → ◇ stop)
-            Ltl::always(Ltl::implies(stop_sign.clone(), Ltl::eventually(stop.clone()))),
+            Ltl::always(Ltl::implies(
+                stop_sign.clone(),
+                Ltl::eventually(stop.clone()),
+            )),
         ),
         spec(
             "phi_5",
@@ -269,7 +275,10 @@ mod tests {
             ));
             assert!(!finite::satisfies(&ignored, phi1), "ped ignored");
             let mut heeded = Trace::new();
-            heeded.push(Step::new(PropSet::singleton(ped), ActSet::singleton(d.stop)));
+            heeded.push(Step::new(
+                PropSet::singleton(ped),
+                ActSet::singleton(d.stop),
+            ));
             assert!(finite::satisfies(&heeded, phi1));
         }
     }

@@ -1,0 +1,517 @@
+//! Controller/automaton lints (`SL1xx`): reachability, dead transitions,
+//! nondeterminism, incompleteness, sinks, and unused vocabulary atoms.
+//!
+//! All checks are purely structural — no product construction or model
+//! checking — so they run in milliseconds even on controllers whose
+//! product automata would be large.
+
+use crate::diagnostics::{Diagnostic, LintCode};
+use autokit::{Controller, CtrlTransition, PropSet, Vocab};
+use std::collections::VecDeque;
+
+/// Extra context for controller lints.
+///
+/// Both fields are optional: without a vocabulary, findings fall back to
+/// numeric ids and the unused-atom lint is skipped; without an observation
+/// set, dead-transition and incomplete-state checks consider only the
+/// guard syntax (a guard that requires and forbids the same proposition)
+/// rather than what the world can actually produce.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerContext<'a> {
+    /// Vocabulary for rendering propositions/actions by name and for the
+    /// unused-atom lint.
+    pub vocab: Option<&'a Vocab>,
+    /// Observations the environment can produce (e.g. the label sets of a
+    /// world model's states). Enables the stronger dead-transition check
+    /// and the incomplete-state check.
+    pub observations: Option<&'a [PropSet]>,
+}
+
+/// `true` iff the transition can ever fire: its guard is not
+/// self-contradictory and, when an observation set is known, at least one
+/// observation satisfies it.
+fn can_fire(t: &CtrlTransition, observations: Option<&[PropSet]>) -> bool {
+    if t.guard.is_contradictory() {
+        return false;
+    }
+    match observations {
+        Some(obs) => obs.iter().any(|&sigma| t.guard.matches(sigma)),
+        None => true,
+    }
+}
+
+/// States reachable from the initial state via transitions that can fire.
+fn reachable_states(ctrl: &Controller, observations: Option<&[PropSet]>) -> Vec<bool> {
+    let mut seen = vec![false; ctrl.num_states()];
+    let mut queue = VecDeque::new();
+    seen[ctrl.initial()] = true;
+    queue.push_back(ctrl.initial());
+    while let Some(state) = queue.pop_front() {
+        for t in ctrl.outgoing(state) {
+            if can_fire(t, observations) && !seen[t.to] {
+                seen[t.to] = true;
+                queue.push_back(t.to);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` iff the two guards can be satisfied by the same symbol.
+fn guards_overlap(a: autokit::Guard, b: autokit::Guard) -> bool {
+    ((a.pos | b.pos) & (a.neg | b.neg)).is_empty()
+}
+
+/// Lints a controller.
+pub fn lint_controller(ctrl: &Controller, ctx: ControllerContext<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let subject = format!("controller {}", ctrl.name());
+    let reachable = reachable_states(ctrl, ctx.observations);
+
+    // SL101 — unreachable states.
+    for state in (0..ctrl.num_states()).filter(|&s| !reachable[s]) {
+        diags.push(
+            Diagnostic::new(
+                LintCode::UnreachableState,
+                &subject,
+                format!(
+                    "state {state} cannot be reached from initial state {}",
+                    ctrl.initial()
+                ),
+            )
+            .element(format!("state {state}")),
+        );
+    }
+
+    // SL102 — dead transitions.
+    for (i, t) in ctrl.transitions().iter().enumerate() {
+        if can_fire(t, ctx.observations) {
+            continue;
+        }
+        let why = if t.guard.is_contradictory() {
+            "its guard requires and forbids the same proposition".to_string()
+        } else {
+            "no known observation satisfies its guard".to_string()
+        };
+        diags.push(
+            Diagnostic::new(
+                LintCode::DeadTransition,
+                &subject,
+                format!(
+                    "transition {i} ({} -> {}) can never fire: {why}",
+                    t.from, t.to
+                ),
+            )
+            .element(format!("transition {i}")),
+        );
+    }
+
+    // SL103 — nondeterministic states: two live transitions from the same
+    // state whose guards overlap but whose effects differ. One aggregate
+    // finding per state keeps a heavily branching state from flooding the
+    // report.
+    for state in 0..ctrl.num_states() {
+        let live: Vec<&CtrlTransition> = ctrl
+            .outgoing(state)
+            .filter(|t| can_fire(t, ctx.observations))
+            .collect();
+        let mut overlapping = 0usize;
+        for i in 0..live.len() {
+            for j in (i + 1)..live.len() {
+                let (a, b) = (live[i], live[j]);
+                if (a.action != b.action || a.to != b.to) && guards_overlap(a.guard, b.guard) {
+                    overlapping += 1;
+                }
+            }
+        }
+        if overlapping > 0 {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::NondeterministicState,
+                    &subject,
+                    format!(
+                        "state {state} has {overlapping} overlapping guard pair(s) with \
+                         different effects; behaviour depends on transition order"
+                    ),
+                )
+                .element(format!("state {state}")),
+            );
+        }
+    }
+
+    // SL104 — incomplete states: a reachable, non-sink state where some
+    // observation the world can produce enables nothing. Needs the
+    // observation set; without it every non-trivial guard would flag.
+    if let Some(observations) = ctx.observations {
+        for state in (0..ctrl.num_states()).filter(|&s| reachable[s]) {
+            if ctrl.outgoing(state).next().is_none() {
+                continue;
+            }
+            if let Some(&sigma) = observations
+                .iter()
+                .find(|&&sigma| !ctrl.has_enabled(state, sigma))
+            {
+                let shown = match ctx.vocab {
+                    Some(v) => v.display_props(sigma),
+                    None => format!("{sigma:?}"),
+                };
+                diags.push(
+                    Diagnostic::new(
+                        LintCode::IncompleteState,
+                        &subject,
+                        format!(
+                            "state {state} has no enabled transition under observation \
+                             `{shown}`; the product deadlocks or stutters there"
+                        ),
+                    )
+                    .element(format!("state {state}")),
+                );
+            }
+        }
+    }
+
+    // SL105 — sink states (reachable ones; unreachable sinks are already
+    // covered by SL101).
+    for state in ctrl.terminal_states() {
+        if reachable[state] {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::SinkState,
+                    &subject,
+                    format!("state {state} has no outgoing transitions"),
+                )
+                .element(format!("state {state}")),
+            );
+        }
+    }
+
+    // SL106 — unused vocabulary atoms, as one aggregate note.
+    if let Some(vocab) = ctx.vocab {
+        let mut used_props = PropSet::empty();
+        let mut used_acts = autokit::ActSet::empty();
+        for t in ctrl.transitions() {
+            used_props = used_props | t.guard.pos | t.guard.neg;
+            used_acts = used_acts | t.action;
+        }
+        let unused_props: Vec<&str> = vocab
+            .props()
+            .filter(|&p| !used_props.contains(p))
+            .map(|p| vocab.prop_name(p))
+            .collect();
+        let unused_acts: Vec<&str> = vocab
+            .acts()
+            .filter(|&a| !used_acts.contains(a))
+            .map(|a| vocab.act_name(a))
+            .collect();
+        if !unused_props.is_empty() || !unused_acts.is_empty() {
+            let mut parts = Vec::new();
+            if !unused_props.is_empty() {
+                parts.push(format!("propositions [{}]", unused_props.join(", ")));
+            }
+            if !unused_acts.is_empty() {
+                parts.push(format!("actions [{}]", unused_acts.join(", ")));
+            }
+            diags.push(Diagnostic::new(
+                LintCode::UnusedAtom,
+                &subject,
+                format!("never references {}", parts.join(" or ")),
+            ));
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autokit::{ActSet, ControllerBuilder, Guard};
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        v.add_prop("p").expect("fresh");
+        v.add_prop("q").expect("fresh");
+        v.add_act("go").expect("fresh");
+        v.add_act("stop").expect("fresh");
+        v
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn sl101_flags_unreachable_state() {
+        let v = vocab();
+        let go = v.act("go").expect("registered");
+        // State 2 has no incoming transition.
+        let ctrl = ControllerBuilder::new("orphan", 3)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(go), 1)
+            .transition(1, Guard::always(), ActSet::empty(), 0)
+            .transition(2, Guard::always(), ActSet::empty(), 0)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::UnreachableState)
+            .collect();
+        assert_eq!(unreachable.len(), 1, "{diags:?}");
+        assert_eq!(unreachable[0].location.element.as_deref(), Some("state 2"));
+    }
+
+    #[test]
+    fn sl101_negative_on_connected_controller() {
+        let v = vocab();
+        let go = v.act("go").expect("registered");
+        let ctrl = ControllerBuilder::new("ring", 2)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(go), 1)
+            .transition(1, Guard::always(), ActSet::empty(), 0)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        assert!(!codes(&diags).contains(&"SL101"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl102_flags_contradictory_guard() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let ctrl = ControllerBuilder::new("dead", 1)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::empty(), 0)
+            .transition(
+                0,
+                Guard::always().requires(p).forbids(p),
+                ActSet::empty(),
+                0,
+            )
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::DeadTransition)
+            .collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert!(dead[0].message.contains("requires and forbids"));
+    }
+
+    #[test]
+    fn sl102_flags_guard_outside_observation_set() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let q = v.prop("q").expect("registered");
+        let ctrl = ControllerBuilder::new("unworldly", 1)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::empty(), 0)
+            .transition(0, Guard::always().requires(q), ActSet::empty(), 0)
+            .build()
+            .expect("well-formed");
+        // The world only ever shows `p` or nothing — never `q`.
+        let obs = [PropSet::empty(), PropSet::singleton(p)];
+        let diags = lint_controller(
+            &ctrl,
+            ControllerContext {
+                vocab: Some(&v),
+                observations: Some(&obs),
+            },
+        );
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::DeadTransition)
+            .collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert!(dead[0].message.contains("no known observation"));
+    }
+
+    #[test]
+    fn sl102_negative_on_live_guards() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let ctrl = ControllerBuilder::new("live", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(p), ActSet::empty(), 0)
+            .transition(0, Guard::always().forbids(p), ActSet::empty(), 0)
+            .build()
+            .expect("well-formed");
+        let obs = [PropSet::empty(), PropSet::singleton(p)];
+        let diags = lint_controller(
+            &ctrl,
+            ControllerContext {
+                vocab: Some(&v),
+                observations: Some(&obs),
+            },
+        );
+        assert!(!codes(&diags).contains(&"SL102"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl103_flags_overlapping_guards_with_different_effects() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let go = v.act("go").expect("registered");
+        let stop = v.act("stop").expect("registered");
+        // Both guards match the observation `p`: always() and requires(p).
+        let ctrl = ControllerBuilder::new("racy", 2)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(stop), 0)
+            .transition(0, Guard::always().requires(p), ActSet::singleton(go), 1)
+            .transition(1, Guard::always(), ActSet::empty(), 1)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        assert!(codes(&diags).contains(&"SL103"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl103_negative_on_disjoint_guards() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let go = v.act("go").expect("registered");
+        let stop = v.act("stop").expect("registered");
+        let ctrl = ControllerBuilder::new("det", 2)
+            .initial(0)
+            .transition(0, Guard::always().requires(p), ActSet::singleton(go), 1)
+            .transition(0, Guard::always().forbids(p), ActSet::singleton(stop), 0)
+            .transition(1, Guard::always(), ActSet::empty(), 1)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        assert!(!codes(&diags).contains(&"SL103"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl104_flags_observation_with_no_enabled_transition() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let go = v.act("go").expect("registered");
+        // Only moves when `p` holds; the empty observation strands it.
+        let ctrl = ControllerBuilder::new("picky", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(p), ActSet::singleton(go), 0)
+            .build()
+            .expect("well-formed");
+        let obs = [PropSet::empty(), PropSet::singleton(p)];
+        let diags = lint_controller(
+            &ctrl,
+            ControllerContext {
+                vocab: Some(&v),
+                observations: Some(&obs),
+            },
+        );
+        assert!(codes(&diags).contains(&"SL104"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl104_negative_on_complete_state() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let go = v.act("go").expect("registered");
+        let stop = v.act("stop").expect("registered");
+        let ctrl = ControllerBuilder::new("total", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(p), ActSet::singleton(go), 0)
+            .transition(0, Guard::always().forbids(p), ActSet::singleton(stop), 0)
+            .build()
+            .expect("well-formed");
+        let obs = [PropSet::empty(), PropSet::singleton(p)];
+        let diags = lint_controller(
+            &ctrl,
+            ControllerContext {
+                vocab: Some(&v),
+                observations: Some(&obs),
+            },
+        );
+        assert!(!codes(&diags).contains(&"SL104"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl105_flags_reachable_sink() {
+        let v = vocab();
+        let go = v.act("go").expect("registered");
+        let ctrl = ControllerBuilder::new("dead-end", 2)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(go), 1)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        let sinks: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::SinkState)
+            .collect();
+        assert_eq!(sinks.len(), 1, "{diags:?}");
+        assert_eq!(sinks[0].location.element.as_deref(), Some("state 1"));
+    }
+
+    #[test]
+    fn sl105_negative_and_unreachable_sink_not_double_reported() {
+        let v = vocab();
+        let go = v.act("go").expect("registered");
+        // State 1 is an unreachable sink: SL101 only, not SL105.
+        let ctrl = ControllerBuilder::new("loop", 2)
+            .initial(0)
+            .transition(0, Guard::always(), ActSet::singleton(go), 0)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(&ctrl, ControllerContext::default());
+        assert!(codes(&diags).contains(&"SL101"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"SL105"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl106_flags_unused_atoms_in_one_note() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let go = v.act("go").expect("registered");
+        let ctrl = ControllerBuilder::new("narrow", 1)
+            .initial(0)
+            .transition(0, Guard::always().requires(p), ActSet::singleton(go), 0)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(
+            &ctrl,
+            ControllerContext {
+                vocab: Some(&v),
+                observations: None,
+            },
+        );
+        let unused: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::UnusedAtom)
+            .collect();
+        assert_eq!(unused.len(), 1, "{diags:?}");
+        assert!(unused[0].message.contains('q'), "{diags:?}");
+        assert!(unused[0].message.contains("stop"), "{diags:?}");
+    }
+
+    #[test]
+    fn sl106_negative_when_every_atom_is_referenced() {
+        let v = vocab();
+        let p = v.prop("p").expect("registered");
+        let q = v.prop("q").expect("registered");
+        let go = v.act("go").expect("registered");
+        let stop = v.act("stop").expect("registered");
+        let ctrl = ControllerBuilder::new("full", 1)
+            .initial(0)
+            .transition(
+                0,
+                Guard::always().requires(p).forbids(q),
+                ActSet::singleton(go),
+                0,
+            )
+            .transition(0, Guard::always().requires(q), ActSet::singleton(stop), 0)
+            .build()
+            .expect("well-formed");
+        let diags = lint_controller(
+            &ctrl,
+            ControllerContext {
+                vocab: Some(&v),
+                observations: None,
+            },
+        );
+        assert!(!codes(&diags).contains(&"SL106"), "{diags:?}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Diagnostic core: stable lint codes, severities, structured locations,
+//! and human / JSON rendering.
+//!
+//! Every analyzer in this crate reports through [`Diagnostic`]. Codes are
+//! stable identifiers (`SL001`, `SL101`, ...) that tools and tests may
+//! match on; messages are for humans and carry no stability guarantee.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// `Error` findings make an input unusable as a feedback signal (an
+/// unsatisfiable rule fails every controller); `Warning` findings are
+/// almost certainly authoring mistakes; `Note` findings are expected in
+/// healthy inputs but worth surfacing (e.g. rules that are vacuous in one
+/// scenario but binding in another).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational; expected in healthy inputs.
+    Note,
+    /// Probable authoring mistake.
+    Warning,
+    /// The input is unusable for verification-based feedback.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The catalog of lints. `SL0xx` are specification lints, `SL1xx` are
+/// controller/automaton lints, `SL2xx` are parsed-step lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// SL001 — the formula has no satisfying trace; it fails every
+    /// controller.
+    UnsatisfiableSpec,
+    /// SL002 — the formula is a tautology; it passes every controller.
+    TautologicalSpec,
+    /// SL003 — the formula passes a world vacuously (its antecedent is
+    /// unreachable there, or it is a tautology over that graph).
+    VacuousPass,
+    /// SL004 — two individually satisfiable rules have an unsatisfiable
+    /// conjunction; no controller can pass both.
+    ConflictingSpecs,
+    /// SL005 — one rule implies another, making the implied rule
+    /// redundant in the rule book.
+    SubsumedSpec,
+    /// SL101 — a controller state is unreachable from the initial state.
+    UnreachableState,
+    /// SL102 — a transition can never fire (its guard requires and
+    /// forbids the same proposition, or matches no known observation).
+    DeadTransition,
+    /// SL103 — a state has overlapping guards leading to different
+    /// behaviour; resolution depends on transition order.
+    NondeterministicState,
+    /// SL104 — a reachable state has no enabled transition for some
+    /// observation the world can produce.
+    IncompleteState,
+    /// SL105 — a state has no outgoing transitions at all (terminal by
+    /// design, or a dead end).
+    SinkState,
+    /// SL106 — vocabulary atoms never referenced by the controller.
+    UnusedAtom,
+    /// SL201 — a step failed to parse into a guarded observation/action.
+    UnparseableStep,
+    /// SL202 — a step contains content tokens the lexicon cannot align.
+    UnknownToken,
+    /// SL203 — a step mentions several actions; only the first takes
+    /// effect.
+    AmbiguousStep,
+}
+
+impl LintCode {
+    /// Every lint in the catalog, in code order.
+    pub const ALL: [LintCode; 14] = [
+        LintCode::UnsatisfiableSpec,
+        LintCode::TautologicalSpec,
+        LintCode::VacuousPass,
+        LintCode::ConflictingSpecs,
+        LintCode::SubsumedSpec,
+        LintCode::UnreachableState,
+        LintCode::DeadTransition,
+        LintCode::NondeterministicState,
+        LintCode::IncompleteState,
+        LintCode::SinkState,
+        LintCode::UnusedAtom,
+        LintCode::UnparseableStep,
+        LintCode::UnknownToken,
+        LintCode::AmbiguousStep,
+    ];
+
+    /// The stable identifier tools may match on.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::UnsatisfiableSpec => "SL001",
+            LintCode::TautologicalSpec => "SL002",
+            LintCode::VacuousPass => "SL003",
+            LintCode::ConflictingSpecs => "SL004",
+            LintCode::SubsumedSpec => "SL005",
+            LintCode::UnreachableState => "SL101",
+            LintCode::DeadTransition => "SL102",
+            LintCode::NondeterministicState => "SL103",
+            LintCode::IncompleteState => "SL104",
+            LintCode::SinkState => "SL105",
+            LintCode::UnusedAtom => "SL106",
+            LintCode::UnparseableStep => "SL201",
+            LintCode::UnknownToken => "SL202",
+            LintCode::AmbiguousStep => "SL203",
+        }
+    }
+
+    /// Inverse of [`LintCode::code`].
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|c| c.code() == code)
+    }
+
+    /// The severity this lint reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::UnsatisfiableSpec
+            | LintCode::ConflictingSpecs
+            | LintCode::UnparseableStep => Severity::Error,
+            LintCode::TautologicalSpec
+            | LintCode::UnreachableState
+            | LintCode::DeadTransition
+            | LintCode::UnknownToken => Severity::Warning,
+            // Note, not Warning: the paper's own rule book contains
+            // subsuming pairs (e.g. phi_5 ⇒ phi_11) — redundancy does not
+            // corrupt the feedback signal, it only adds no discrimination.
+            LintCode::SubsumedSpec
+            | LintCode::VacuousPass
+            | LintCode::NondeterministicState
+            | LintCode::IncompleteState
+            | LintCode::SinkState
+            | LintCode::UnusedAtom
+            | LintCode::AmbiguousStep => Severity::Note,
+        }
+    }
+
+    /// One-line description of what the lint checks.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::UnsatisfiableSpec => "specification is unsatisfiable",
+            LintCode::TautologicalSpec => "specification is a tautology",
+            LintCode::VacuousPass => "specification passes vacuously",
+            LintCode::ConflictingSpecs => "specifications conflict",
+            LintCode::SubsumedSpec => "specification is subsumed by another",
+            LintCode::UnreachableState => "controller state is unreachable",
+            LintCode::DeadTransition => "transition can never fire",
+            LintCode::NondeterministicState => "state resolves by transition order",
+            LintCode::IncompleteState => "state lacks a transition for a reachable observation",
+            LintCode::SinkState => "state has no outgoing transitions",
+            LintCode::UnusedAtom => "vocabulary atoms are never referenced",
+            LintCode::UnparseableStep => "step does not parse",
+            LintCode::UnknownToken => "step contains out-of-lexicon tokens",
+            LintCode::AmbiguousStep => "step mentions several actions",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// What a diagnostic points at: a named subject (a spec, a controller, a
+/// step list) and optionally an element within it (a second spec, a
+/// state, a step index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// The primary subject, e.g. `spec phi_3` or `controller turn right`.
+    pub subject: String,
+    /// A finer-grained element, e.g. `state 2` or `step 4`.
+    pub element: Option<String>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.element {
+            Some(el) => write!(f, "{}, {}", self.subject, el),
+            None => write!(f, "{}", self.subject),
+        }
+    }
+}
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity (defaults to the code's catalog severity).
+    pub severity: Severity,
+    /// What the finding points at.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the code's default severity.
+    pub fn new(
+        code: LintCode,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            location: Location {
+                subject: subject.into(),
+                element: None,
+            },
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a finer-grained element to the location.
+    pub fn element(mut self, element: impl Into<String>) -> Diagnostic {
+        self.location.element = Some(element.into());
+        self
+    }
+
+    /// Renders the classic compiler-style one-liner.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+// The JSON schema is flat and stable: {"code", "severity", "subject",
+// "element"?, "message"}. Hand-written (rather than derived) so the
+// nested `Location` flattens and the schema cannot drift by refactor.
+impl Serialize for Diagnostic {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("code".to_string(), Value::Str(self.code.code().to_string())),
+            (
+                "severity".to_string(),
+                Value::Str(self.severity.to_string()),
+            ),
+            (
+                "subject".to_string(),
+                Value::Str(self.location.subject.clone()),
+            ),
+        ];
+        if let Some(el) = &self.location.element {
+            entries.push(("element".to_string(), Value::Str(el.clone())));
+        }
+        entries.push(("message".to_string(), Value::Str(self.message.clone())));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for Diagnostic {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let code_str = String::from_value(v.field("code")?)?;
+        let code = LintCode::from_code(&code_str)
+            .ok_or_else(|| SerdeError::new(format!("unknown lint code `{code_str}`")))?;
+        let element = match v.field("element") {
+            Ok(el) => Some(String::from_value(el)?),
+            Err(_) => None,
+        };
+        let severity = match String::from_value(v.field("severity")?)?.as_str() {
+            "note" => Severity::Note,
+            "warning" => Severity::Warning,
+            "error" => Severity::Error,
+            other => return Err(SerdeError::new(format!("unknown severity `{other}`"))),
+        };
+        Ok(Diagnostic {
+            code,
+            severity,
+            location: Location {
+                subject: String::from_value(v.field("subject")?)?,
+                element,
+            },
+            message: String::from_value(v.field("message")?)?,
+        })
+    }
+}
+
+/// Counts by severity, for exit-code and summary decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Number of `Error` diagnostics.
+    pub errors: usize,
+    /// Number of `Warning` diagnostics.
+    pub warnings: usize,
+    /// Number of `Note` diagnostics.
+    pub notes: usize,
+}
+
+impl Tally {
+    /// Tallies a diagnostic list.
+    pub fn of(diags: &[Diagnostic]) -> Tally {
+        let mut t = Tally::default();
+        for d in diags {
+            match d.severity {
+                Severity::Error => t.errors += 1,
+                Severity::Warning => t.warnings += 1,
+                Severity::Note => t.notes += 1,
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_invertible() {
+        for code in LintCode::ALL {
+            assert_eq!(LintCode::from_code(code.code()), Some(code));
+        }
+        let mut codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), LintCode::ALL.len());
+    }
+
+    #[test]
+    fn render_is_compiler_style() {
+        let d = Diagnostic::new(LintCode::UnsatisfiableSpec, "spec phi_1", "no model exists")
+            .element("conjunct 2");
+        assert_eq!(
+            d.render(),
+            "error[SL001]: spec phi_1, conjunct 2: no model exists"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_fields() {
+        let d = Diagnostic::new(LintCode::DeadTransition, "controller free", "guard p & !p")
+            .element("transition 3");
+        let json = serde_json::to_string(&d).expect("serializes");
+        assert!(json.contains("\"code\":\"SL102\""), "{json}");
+        assert!(json.contains("\"severity\":\"warning\""), "{json}");
+        assert!(json.contains("\"subject\":\"controller free\""), "{json}");
+        let back: Diagnostic = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn severity_ordering_supports_max() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+}

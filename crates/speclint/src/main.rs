@@ -1,0 +1,105 @@
+//! speclint CLI: lints the shipped driving and warehouse rule books, the
+//! paper's demonstration controllers, and their step lists.
+//!
+//! ```text
+//! speclint [--format human|json] [--deny-warnings]
+//! ```
+//!
+//! Exit status: `0` when clean (notes are always allowed), `1` when any
+//! `error` diagnostic fired (or any `warning`, under `--deny-warnings`),
+//! `2` on usage errors. The JSON output is a stable object:
+//! `{"diagnostics": [{"code", "severity", "subject", "element"?,
+//! "message"}, ...], "tally": {"errors", "warnings", "notes"}}`.
+
+// A binary may panic on internal invariants (serializing a value tree).
+#![allow(clippy::expect_used)]
+
+use serde::{Serialize, Value};
+use speclint::presets::{driving_input, warehouse_input};
+use speclint::{Diagnostic, Tally};
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    deny_warnings: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        deny_warnings: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args.next().ok_or("--format needs a value")?;
+                opts.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => {
+                return Err("usage: speclint [--format human|json] [--deny-warnings]".to_owned())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_report(diags: &[Diagnostic], tally: Tally) -> String {
+    let report = Value::Map(vec![
+        ("diagnostics".to_owned(), diags.to_value()),
+        (
+            "tally".to_owned(),
+            Value::Map(vec![
+                ("errors".to_owned(), tally.errors.to_value()),
+                ("warnings".to_owned(), tally.warnings.to_value()),
+                ("notes".to_owned(), tally.notes.to_value()),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&report).expect("report is a plain value tree")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diags = speclint::run(&driving_input());
+    diags.extend(speclint::run(&warehouse_input()));
+    let tally = Tally::of(&diags);
+
+    match opts.format {
+        Format::Json => println!("{}", json_report(&diags, tally)),
+        Format::Human => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "speclint: {} error(s), {} warning(s), {} note(s)",
+                tally.errors, tally.warnings, tally.notes
+            );
+        }
+    }
+
+    if tally.errors > 0 || (opts.deny_warnings && tally.warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

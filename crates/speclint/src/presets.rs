@@ -1,0 +1,258 @@
+//! Ready-made [`LintInput`]s for the shipped content: the driving and
+//! warehouse rule books, the paper's demonstration controllers, and
+//! their step lists. The `speclint` CLI and the `bench` rule-book tool
+//! are thin wrappers over these.
+
+// Everything here is built from compile-time constants; a build failure is
+// a bug in this crate, not an input condition, so panicking is correct.
+#![allow(clippy::expect_used)]
+
+use crate::{ControllerInput, LintInput, StepListInput};
+use autokit::presets::DrivingDomain;
+use autokit::{
+    ActSet, Controller, ControllerBuilder, DeadlockPolicy, Guard, LabelGraph, Product, PropSet,
+    WorldModel,
+};
+use drivesim::ScenarioKind;
+use glm2fsa::{synthesize, with_default_action, FsaOptions, Lexicon};
+use ltlcheck::specs::driving_specs;
+use warehouse::{warehouse_specs, WarehouseDomain};
+
+/// The paper's §5.1 right-turn response before fine-tuning (aligned
+/// form). Duplicated from `dpo_af::experiments::demo` because `dpo-af`
+/// depends on this crate for its pre-flight gate.
+pub const RIGHT_TURN_BEFORE: [&str; 5] = [
+    "Observe the state of the green traffic light.",
+    "If the green traffic light is on, execute the action go straight.",
+    "As you approach the intersection, observe the state of the car from left.",
+    "If the car from left is not present, check the state of the pedestrian at right.",
+    "If the pedestrian at right is not present, execute the action turn right.",
+];
+/// The paper's §5.1 right-turn response after fine-tuning.
+pub const RIGHT_TURN_AFTER: [&str; 3] = [
+    "Observe the traffic light in front of you.",
+    "Check for the left approaching car and right side pedestrian.",
+    "If no car from the left is approaching and no pedestrian on the right, proceed to turn right.",
+];
+/// The paper's Appendix C left-turn response before fine-tuning.
+pub const LEFT_TURN_BEFORE: [&str; 4] = [
+    "Approach the traffic light with a left-turn light.",
+    "Wait for the left-turn light to turn green.",
+    "When the left-turn light turns green, wait for oncoming traffic to clear before turning left.",
+    "Turn left and proceed through the intersection.",
+];
+/// The paper's Appendix C left-turn response after fine-tuning.
+pub const LEFT_TURN_AFTER: [&str; 3] = [
+    "Approach the traffic light and observe the left turn light.",
+    "If the left turn light is not green, then stop.",
+    "If the left turn light is green, then turn left.",
+];
+
+/// Canonical careful step lists for the four warehouse tasks.
+pub const WAREHOUSE_STEPS: [(&str, &[&str]); 4] = [
+    (
+        "pick an item from the shelf",
+        &[
+            "Check for the shelf detected.",
+            "Observe the human nearby and the obstacle ahead.",
+            "If shelf detected and no human nearby and no obstacle ahead, pick item.",
+        ],
+    ),
+    (
+        "deliver the item to the packing station",
+        &[
+            "Observe the human nearby and the obstacle ahead.",
+            "If no human nearby and no obstacle ahead, place item.",
+        ],
+    ),
+    (
+        "patrol the aisle",
+        &[
+            "Observe the human nearby and the obstacle ahead.",
+            "If no human nearby and no obstacle ahead, move forward.",
+        ],
+    ),
+    (
+        "recharge when the battery is low",
+        &["Check for the battery low.", "If battery low, dock."],
+    ),
+];
+
+/// A maximally permissive one-state controller emitting any of `acts`.
+pub fn free_controller(name: &str, acts: &[ActSet]) -> Controller {
+    let mut builder = ControllerBuilder::new(name, 1).initial(0);
+    for &act in acts {
+        builder = builder.transition(0, Guard::always(), act, 0);
+    }
+    builder.build().expect("one state, all endpoints in range")
+}
+
+fn graph_under(model: &WorldModel, free: &Controller) -> LabelGraph {
+    Product::build(model, free).label_graph(DeadlockPolicy::Stutter)
+}
+
+fn labels_of(model: &WorldModel) -> Vec<PropSet> {
+    model.states().map(|s| model.label(s)).collect()
+}
+
+/// The scenario's world model (mirrors `dpo_af::feedback::scenario_model`).
+pub fn scenario_model(d: &DrivingDomain, kind: ScenarioKind) -> WorldModel {
+    match kind {
+        ScenarioKind::TrafficLight => d.traffic_light_model(),
+        ScenarioKind::LeftTurnSignal => d.left_turn_light_model(),
+        ScenarioKind::WideMedian => d.wide_median_model(),
+        ScenarioKind::TwoWayStop => d.two_way_stop_model(),
+        ScenarioKind::Roundabout => d.roundabout_model(),
+    }
+}
+
+/// Lint input for the driving domain: the 15-rule book with per-scenario
+/// vacuity graphs, the four paper demonstration controllers (with their
+/// scenario observations), the free controller, and the demo step lists.
+pub fn driving_input() -> LintInput {
+    let d = DrivingDomain::new();
+    let lexicon = Lexicon::driving(&d);
+    let free = free_controller(
+        "free (driving)",
+        &[d.stop, d.turn_left, d.turn_right, d.go_straight].map(ActSet::singleton),
+    );
+    let options = || FsaOptions {
+        non_blocking: ActSet::singleton(d.stop),
+        ..FsaOptions::default()
+    };
+
+    let mut input = LintInput {
+        specs: driving_specs(&d),
+        spec_vocab: Some(d.vocab.clone()),
+        ..Default::default()
+    };
+    for kind in ScenarioKind::all() {
+        let model = scenario_model(&d, kind);
+        input
+            .spec_graphs
+            .push((format!("{kind:?}"), graph_under(&model, &free)));
+    }
+
+    let demos: [(&str, &[&str], ScenarioKind); 4] = [
+        (
+            "turn right (before fine-tuning)",
+            &RIGHT_TURN_BEFORE,
+            ScenarioKind::TrafficLight,
+        ),
+        (
+            "turn right (after fine-tuning)",
+            &RIGHT_TURN_AFTER,
+            ScenarioKind::TrafficLight,
+        ),
+        (
+            "turn left (before fine-tuning)",
+            &LEFT_TURN_BEFORE,
+            ScenarioKind::LeftTurnSignal,
+        ),
+        (
+            "turn left (after fine-tuning)",
+            &LEFT_TURN_AFTER,
+            ScenarioKind::LeftTurnSignal,
+        ),
+    ];
+    for (name, steps, kind) in demos {
+        let ctrl = synthesize(name, steps, &lexicon, options()).expect("paper demo steps align");
+        let ctrl = with_default_action(&ctrl, d.stop);
+        input.controllers.push(ControllerInput {
+            controller: ctrl,
+            vocab: Some(d.vocab.clone()),
+            observations: Some(labels_of(&scenario_model(&d, kind))),
+        });
+        input.step_lists.push(StepListInput {
+            name: name.to_owned(),
+            steps: steps.iter().map(|s| s.to_string()).collect(),
+            lexicon: lexicon.clone(),
+            vocab: d.vocab.clone(),
+        });
+    }
+    input.controllers.push(ControllerInput {
+        controller: free,
+        vocab: Some(d.vocab.clone()),
+        observations: None,
+    });
+    input
+}
+
+/// Lint input for the warehouse domain: the 8-rule book with its floor
+/// vacuity graph, one synthesized controller per task, the free
+/// controller, and the canonical step lists.
+pub fn warehouse_input() -> LintInput {
+    let w = WarehouseDomain::new();
+    let free = free_controller(
+        "free (warehouse)",
+        &[w.move_forward, w.pick, w.place, w.wait, w.dock].map(ActSet::singleton),
+    );
+    let floor = w.floor_model();
+
+    let mut input = LintInput {
+        specs: warehouse_specs(&w),
+        spec_vocab: Some(w.vocab.clone()),
+        spec_graphs: vec![("WarehouseFloor".to_owned(), graph_under(&floor, &free))],
+        ..Default::default()
+    };
+    for (name, steps) in WAREHOUSE_STEPS {
+        let options = FsaOptions {
+            non_blocking: ActSet::singleton(w.wait),
+            ..FsaOptions::default()
+        };
+        let ctrl =
+            synthesize(name, steps, &w.lexicon, options).expect("canonical warehouse steps align");
+        let ctrl = with_default_action(&ctrl, w.wait);
+        input.controllers.push(ControllerInput {
+            controller: ctrl,
+            vocab: Some(w.vocab.clone()),
+            observations: Some(labels_of(&floor)),
+        });
+        input.step_lists.push(StepListInput {
+            name: name.to_owned(),
+            steps: steps.iter().map(|s| s.to_string()).collect(),
+            lexicon: w.lexicon.clone(),
+            vocab: w.vocab.clone(),
+        });
+    }
+    input.controllers.push(ControllerInput {
+        controller: free,
+        vocab: Some(w.vocab.clone()),
+        observations: None,
+    });
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    /// The acceptance bar: shipped rule books, controllers and step lists
+    /// produce **no** `Error` diagnostics.
+    #[test]
+    fn shipped_content_has_no_errors() {
+        for input in [driving_input(), warehouse_input()] {
+            let diags = crate::run(&input);
+            let errors: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{errors:?}");
+        }
+    }
+
+    /// Warnings are also absent, so `speclint --deny-warnings` (the CI
+    /// gate) passes on shipped content.
+    #[test]
+    fn shipped_content_has_no_warnings() {
+        for input in [driving_input(), warehouse_input()] {
+            let diags = crate::run(&input);
+            let warnings: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .collect();
+            assert!(warnings.is_empty(), "{warnings:?}");
+        }
+    }
+}

@@ -251,7 +251,11 @@ impl CondLm {
         };
         init(&mut params[seg.tok_emb.clone()], 0.5, rng);
         init(&mut params[seg.task_emb.clone()], 0.5, rng);
-        init(&mut params[seg.w1.clone()], 1.0 / (input as f32).sqrt(), rng);
+        init(
+            &mut params[seg.w1.clone()],
+            1.0 / (input as f32).sqrt(),
+            rng,
+        );
         init(&mut params[seg.w2.clone()], 1.0 / (h as f32).sqrt(), rng);
         if let Some((a1, _b1l, a2, _b2l)) = &seg.lora {
             init(&mut params[a1.clone()], 0.02, rng);
@@ -452,6 +456,9 @@ impl CondLm {
     /// # Errors
     ///
     /// Returns [`LmError`] for out-of-range ids.
+    // The position walk always visits at least the EOS slot, so `total`
+    // is `Some` by construction; a panic here is a bug in this method.
+    #[allow(clippy::expect_used)]
     pub fn log_prob_grad(
         &self,
         task: usize,
@@ -590,10 +597,7 @@ impl CondLm {
     /// fresh adapters (initial delta zero) become the trainable set, so
     /// the converted model's distribution is identical to the original's.
     pub fn convert_adapt(&self, adapt: AdaptMode, rng: &mut impl Rng) -> CondLm {
-        let cfg = LmConfig {
-            adapt,
-            ..self.cfg
-        };
+        let cfg = LmConfig { adapt, ..self.cfg };
         let mut out = CondLm::new(cfg, rng);
         // Shared segments (everything up to the LoRA block) have identical
         // layout in both models.
@@ -642,7 +646,7 @@ fn sample_from_log_probs(log_probs: &[f32], options: SampleOptions, rng: &mut im
 
     if options.top_k.is_some() || options.top_p.is_some() {
         let mut order: Vec<usize> = (0..weights.len()).collect();
-        order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
         let total: f32 = weights.iter().sum();
         let mut keep = vec![false; weights.len()];
         let mut cumulative = 0.0f32;
@@ -683,7 +687,7 @@ fn sample_from_log_probs(log_probs: &[f32], options: SampleOptions, rng: &mut im
     weights
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i as Token)
         .unwrap_or(EOS)
 }
@@ -756,8 +760,7 @@ mod tests {
             mp.params_mut()[i] += h;
             let mut mm = m.clone();
             mm.params_mut()[i] -= h;
-            let num =
-                (mp.log_prob(0, &resp).unwrap() - mm.log_prob(0, &resp).unwrap()) / (2.0 * h);
+            let num = (mp.log_prob(0, &resp).unwrap() - mm.log_prob(0, &resp).unwrap()) / (2.0 * h);
             assert!(
                 (num - grad.0[i]).abs() < 3e-2,
                 "param {i}: numeric {num} vs analytic {}",
@@ -780,8 +783,7 @@ mod tests {
             mp.params_mut()[i] += h;
             let mut mm = m.clone();
             mm.params_mut()[i] -= h;
-            let num =
-                (mp.log_prob(1, &resp).unwrap() - mm.log_prob(1, &resp).unwrap()) / (2.0 * h);
+            let num = (mp.log_prob(1, &resp).unwrap() - mm.log_prob(1, &resp).unwrap()) / (2.0 * h);
             assert!(
                 (num - grad.0[i]).abs() < 3e-2,
                 "param {i}: numeric {num} vs analytic {}",
@@ -878,7 +880,9 @@ mod tests {
         let s2 = m.sample(0, &mut r2, opts).unwrap();
         assert_eq!(s1, s2);
         assert!(s1.len() <= 12);
-        assert!(s1.iter().all(|&t| (t as usize) < 10 && t != BOS && t != EOS));
+        assert!(s1
+            .iter()
+            .all(|&t| (t as usize) < 10 && t != BOS && t != EOS));
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct PretrainStats {
 /// # Panics
 ///
 /// Panics if the corpus is empty.
+// The corpus is rendered from the model's own tokenizer, so gradient
+// calls cannot see out-of-vocabulary ids; a panic here is a caller bug
+// worth failing loudly on during training.
+#[allow(clippy::expect_used)]
 pub fn pretrain(
     model: &mut CondLm,
     corpus: &[(usize, Vec<Token>)],

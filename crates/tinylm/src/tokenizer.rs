@@ -107,7 +107,12 @@ impl Tokenizer {
         tokens
             .iter()
             .filter(|&&t| t != BOS && t != EOS)
-            .map(|&t| self.words.get(t as usize).map(String::as_str).unwrap_or(UNK_WORD))
+            .map(|&t| {
+                self.words
+                    .get(t as usize)
+                    .map(String::as_str)
+                    .unwrap_or(UNK_WORD)
+            })
             .collect::<Vec<_>>()
             .join(" ")
     }

@@ -38,4 +38,6 @@ mod scene;
 
 pub use calibrate::{calibrate, consistency_gap, CalBin, CalibrationCurve};
 pub use detector::{Detection, Detector};
-pub use scene::{generate_dataset, generate_frame, Condition, Domain, Frame, ObjectClass, SceneObject};
+pub use scene::{
+    generate_dataset, generate_frame, Condition, Domain, Frame, ObjectClass, SceneObject,
+};

@@ -89,6 +89,9 @@ impl Default for WarehouseDomain {
 
 impl WarehouseDomain {
     /// Builds the warehouse domain.
+    // Built from distinct literals into a fresh vocabulary/lexicon; a
+    // panic here is a bug in this constructor.
+    #[allow(clippy::expect_used)]
     pub fn new() -> Self {
         let mut vocab = Vocab::new();
         let human = vocab.add_prop("human nearby").expect("fresh vocab");
@@ -226,6 +229,8 @@ impl WarehouseDomain {
         model
     }
 
+    // `choose` on a non-empty const slice cannot return `None`.
+    #[allow(clippy::expect_used)]
     fn prop_phrase<'a>(&self, p: PropId, rng: &mut impl Rng) -> &'a str {
         let options: &[&str] = if p == self.human {
             &["human nearby", "person in the aisle", "someone nearby"]
@@ -239,6 +244,8 @@ impl WarehouseDomain {
         options.choose(rng).expect("non-empty")
     }
 
+    // `choose` on a non-empty const slice cannot return `None`.
+    #[allow(clippy::expect_used)]
     fn act_phrase<'a>(&self, a: ActId, rng: &mut impl Rng) -> &'a str {
         let options: &[&str] = if a == self.move_forward {
             &["move forward", "drive forward", "advance"]
@@ -255,7 +262,14 @@ impl WarehouseDomain {
     }
 
     /// Renders one response for a task in a style (steps `;`-separated).
-    pub fn render(&self, task: &WarehouseTask, style: WarehouseStyle, rng: &mut impl Rng) -> String {
+    // `choose` on a non-empty const slice cannot return `None`.
+    #[allow(clippy::expect_used)]
+    pub fn render(
+        &self,
+        task: &WarehouseTask,
+        style: WarehouseStyle,
+        rng: &mut impl Rng,
+    ) -> String {
         let action = self.act_phrase(task.action, rng);
         let steps: Vec<String> = match style {
             WarehouseStyle::Careful => {
@@ -276,10 +290,7 @@ impl WarehouseDomain {
                     .map(|&p| self.prop_phrase(p, rng))
                     .collect();
                 if !hazard_names.is_empty() {
-                    steps.push(format!(
-                        "observe the {}",
-                        hazard_names.join(" and the ")
-                    ));
+                    steps.push(format!("observe the {}", hazard_names.join(" and the ")));
                 }
                 guard_parts.extend(hazard_names.iter().map(|n| format!("no {n}")));
                 steps.push(format!("if {}, {action}", guard_parts.join(" and ")));
@@ -296,12 +307,14 @@ impl WarehouseDomain {
                 steps
             }
             WarehouseStyle::Reckless => vec![action.to_owned()],
-            WarehouseStyle::Unalignable => vec![
-                ["do whatever seems best", "improvise as needed", "figure it out"]
-                    .choose(rng)
-                    .expect("non-empty")
-                    .to_string(),
-            ],
+            WarehouseStyle::Unalignable => vec![[
+                "do whatever seems best",
+                "improvise as needed",
+                "figure it out",
+            ]
+            .choose(rng)
+            .expect("non-empty")
+            .to_string()],
         };
         format!("{} .", steps.join(" ; "))
     }
@@ -318,6 +331,8 @@ impl WarehouseDomain {
     }
 
     /// A pretraining corpus with a deliberately mixed quality profile.
+    // `choose` on a non-empty const slice cannot return `None`.
+    #[allow(clippy::expect_used)]
     pub fn corpus(&self, size: usize, rng: &mut impl Rng) -> Vec<(usize, Vec<Token>)> {
         let styles = [
             (WarehouseStyle::Careful, 0.30),
@@ -395,13 +410,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let text = d.render(&d.tasks[0], WarehouseStyle::Unalignable, &mut rng);
         let steps: Vec<&str> = text.trim_end_matches('.').split(';').collect();
-        assert!(glm2fsa::synthesize(
-            "t",
-            &steps,
-            &d.lexicon,
-            glm2fsa::FsaOptions::default()
-        )
-        .is_err());
+        assert!(
+            glm2fsa::synthesize("t", &steps, &d.lexicon, glm2fsa::FsaOptions::default()).is_err()
+        );
     }
 
     #[test]

@@ -78,6 +78,8 @@ pub fn warehouse_specs(d: &WarehouseDomain) -> Vec<Spec> {
 
 /// The floor's justice assumption: infinitely often a shelf is in view
 /// while the aisle is clear and the battery is fine.
+// The justice condition is propositional by construction.
+#[allow(clippy::expect_used)]
 pub fn warehouse_justice(d: &WarehouseDomain) -> Vec<Justice> {
     let condition = Ltl::all([
         Ltl::prop(d.shelf),
@@ -134,7 +136,11 @@ mod tests {
                 "{} unsatisfiable",
                 s.name
             );
-            assert!(!ltlcheck::analysis::valid(&s.formula), "{} tautology", s.name);
+            assert!(
+                !ltlcheck::analysis::valid(&s.formula),
+                "{} tautology",
+                s.name
+            );
         }
     }
 

@@ -73,6 +73,9 @@ pub struct MiniOutcome {
     pub sample_after: String,
 }
 
+// Task ids and corpus tokens come from the domain itself, so sampling
+// and training cannot see out-of-range inputs; fail loudly if they do.
+#[allow(clippy::expect_used)]
 fn evaluate(d: &WarehouseDomain, lm: &CondLm, samples: usize, rng: &mut impl Rng) -> f64 {
     let opts = SampleOptions {
         temperature: 0.6,
@@ -92,6 +95,9 @@ fn evaluate(d: &WarehouseDomain, lm: &CondLm, samples: usize, rng: &mut impl Rng
 }
 
 /// Runs the warehouse DPO-AF loop end to end.
+// Task ids and corpus tokens come from the domain itself, so sampling
+// and training cannot see out-of-range inputs; fail loudly if they do.
+#[allow(clippy::expect_used)]
 pub fn run_mini(config: MiniConfig) -> MiniOutcome {
     let domain = WarehouseDomain::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -171,9 +177,11 @@ pub fn run_mini(config: MiniConfig) -> MiniOutcome {
             .sample(0, &mut sample_rng, sample_opts)
             .expect("task 0"),
     );
-    let sample_after = domain
-        .tokenizer
-        .decode(&policy.sample(0, &mut sample_rng, sample_opts).expect("task 0"));
+    let sample_after = domain.tokenizer.decode(
+        &policy
+            .sample(0, &mut sample_rng, sample_opts)
+            .expect("task 0"),
+    );
 
     MiniOutcome {
         before,

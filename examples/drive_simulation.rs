@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {:>7}  P = {rate:.2}   ({})", spec.name, spec.description);
         }
         let incidents: usize = traces.iter().map(|t| detect_incidents(t, d).len()).sum();
-        println!("  incidents across {} episodes: {incidents}\n", traces.len());
+        println!(
+            "  incidents across {} episodes: {incidents}\n",
+            traces.len()
+        );
     }
     println!("(one 60-tick episode of the first controller, for flavour:)");
     let ctrl = synthesize(

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example fine_tune_small`
 
 #![allow(clippy::field_reassign_with_default)] // config structs are built by
-// mutating a Default, which reads better than giant struct-update literals
+                                               // mutating a Default, which reads better than giant struct-update literals
 
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
 use tinylm::SampleOptions;

@@ -42,13 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ActSet::singleton(go),
             0,
         )
-        .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+        .transition(
+            0,
+            Guard::always().forbids(green),
+            ActSet::singleton(stop),
+            0,
+        )
         .transition(0, Guard::always().requires(ped), ActSet::singleton(stop), 0)
         .build()?;
     let hasty = ControllerBuilder::new("hasty", 1)
         .initial(0)
         .transition(0, Guard::always().requires(green), ActSet::singleton(go), 0)
-        .transition(0, Guard::always().forbids(green), ActSet::singleton(stop), 0)
+        .transition(
+            0,
+            Guard::always().forbids(green),
+            ActSet::singleton(stop),
+            0,
+        )
         .build()?;
 
     // 4. A safety rule: never drive into a pedestrian.

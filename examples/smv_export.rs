@@ -29,6 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let spec_names: Vec<String> = specs.iter().map(|(n, _)| n.clone()).collect();
     println!("-- batch script --");
-    println!("{}", smv::render_check_script("right_turn.smv", &spec_names));
+    println!(
+        "{}",
+        smv::render_check_script("right_turn.smv", &spec_names)
+    );
     Ok(())
 }

@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("2. The spec builder and the parser agree — Φ₃ written both ways:");
     let built = &specs[2].formula;
-    let parsed = parse(
-        "G(!\"green traffic light\" -> !\"go straight\")",
-        &d.vocab,
-    )?;
+    let parsed = parse("G(!\"green traffic light\" -> !\"go straight\")", &d.vocab)?;
     assert!(equivalent(built, &parsed));
     println!("   ✓ equivalent\n");
 

@@ -65,8 +65,8 @@ fn quotient_shrinks_repeated_step_controllers() {
         "if no car from the left, turn right",
         "if no car from the left, turn right",
     ];
-    let ctrl = synthesize("stuttered", &steps, &bundle.lexicon, fsa_options(d))
-        .expect("steps align");
+    let ctrl =
+        synthesize("stuttered", &steps, &bundle.lexicon, fsa_options(d)).expect("steps align");
     let ctrl = with_default_action(&ctrl, d.stop);
     let min = ctrl.bisimulation_quotient();
     assert_eq!(ctrl.num_states(), 2);

@@ -25,7 +25,12 @@ fn right_turn_demo_matches_paper() {
 
     // "the controller obtained after fine-tuning satisfies all the
     // specifications".
-    assert_eq!(cmp.after.num_satisfied(), 15, "failed: {:?}", cmp.after.failed());
+    assert_eq!(
+        cmp.after.num_satisfied(),
+        15,
+        "failed: {:?}",
+        cmp.after.failed()
+    );
 
     // The counterexample captures the paper's edge case: a right turn
     // while a car approaches from the left (or a pedestrian is on the
@@ -46,7 +51,12 @@ fn left_turn_demo_matches_paper() {
     // specification Φ12, while the one after fine-tuning passes all the
     // specifications."
     assert!(!verdict(&cmp.before, "phi_12"));
-    assert_eq!(cmp.after.num_satisfied(), 15, "failed: {:?}", cmp.after.failed());
+    assert_eq!(
+        cmp.after.num_satisfied(),
+        15,
+        "failed: {:?}",
+        cmp.after.failed()
+    );
 }
 
 #[test]

@@ -1,0 +1,125 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `Bencher` / `criterion_group!` /
+//! `criterion_main!` surface with a simple wall-clock timing loop: each
+//! benchmark is warmed up briefly, then timed for a fixed number of
+//! iterations, and the mean time per iteration is printed. No statistics,
+//! plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How setup output is batched in [`Bencher::iter_batched`]; accepted for
+/// API compatibility, batching is always one setup per measured call here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures handed over by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Entry point mirroring criterion's driver.
+pub struct Criterion {
+    measure_iters: u64,
+    warmup_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_iters: 30,
+            warmup_iters: 3,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut warm = Bencher {
+            iters: self.warmup_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+        let mut bench = Bencher {
+            iters: self.measure_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench);
+        let per_iter = bench.elapsed.as_secs_f64() / bench.iters.max(1) as f64;
+        println!("{id:<40} {:>12.3} µs/iter", per_iter * 1e6);
+        self
+    }
+
+    /// Accepted for compatibility; sampling is fixed in this stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,505 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde stub's value-based `Serialize` /
+//! `Deserialize` traits without `syn`/`quote`: the input item is parsed
+//! with a small hand-rolled walk over [`proc_macro::TokenTree`]s, and the
+//! impls are emitted by string formatting. Supported shapes are exactly
+//! what this workspace uses: non-generic named structs, tuple structs,
+//! and enums with unit / tuple / struct variants, plus the
+//! `#[serde(skip)]` field attribute (skipped fields are omitted on
+//! serialize and `Default`-filled on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String, // field name, or tuple index rendered as a string
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+        tuple: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("literal compile_error expansion parses")
+        }
+    };
+    let code = match (&item, dir) {
+        (
+            Item::Struct {
+                name,
+                fields,
+                tuple,
+            },
+            Direction::Serialize,
+        ) => gen_struct_ser(name, fields, *tuple),
+        (
+            Item::Struct {
+                name,
+                fields,
+                tuple,
+            },
+            Direction::Deserialize,
+        ) => gen_struct_de(name, fields, *tuple),
+        (Item::Enum { name, variants }, Direction::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Direction::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// --- token-level parsing -------------------------------------------------
+
+/// Consumes leading outer attributes (`#[...]`), returning whether any of
+/// them was `#[serde(skip)]`-like.
+fn eat_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut skip = false;
+    while pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(attr) = &tokens[pos + 1] else {
+            break;
+        };
+        if attr.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        skip |= attr_is_serde_skip(attr.stream());
+        pos += 2;
+    }
+    (pos, skip)
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+/// Consumes a visibility modifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(
+            &tokens.get(pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Splits a field/variant list group on top-level commas. Commas inside
+/// nested groups are inside their own `TokenTree::Group`, but generic
+/// arguments (`HashMap<String, PropId>`) are flat punct tokens, so angle
+/// bracket depth has to be tracked explicitly.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tree);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    split_commas(group)
+        .into_iter()
+        .map(|tokens| {
+            let (pos, skip) = eat_attrs(&tokens, 0);
+            let pos = eat_vis(&tokens, pos);
+            match tokens.get(pos) {
+                Some(TokenTree::Ident(name)) => Ok(Field {
+                    name: name.to_string(),
+                    skip,
+                }),
+                _ => Err("serde stub derive: expected field name".to_owned()),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    split_commas(group)
+        .into_iter()
+        .enumerate()
+        .map(|(i, tokens)| {
+            let (_, skip) = eat_attrs(&tokens, 0);
+            Field {
+                name: i.to_string(),
+                skip,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, _) = eat_attrs(&tokens, 0);
+    let pos = eat_vis(&tokens, pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("serde stub derive: expected `struct` or `enum`".to_owned()),
+    };
+    let name = match tokens.get(pos + 1) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("serde stub derive: expected item name".to_owned()),
+    };
+    let mut pos = pos + 2;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            // Named `{...}`, tuple `(...)` `;`, or unit `;`.
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Item::Struct {
+                        name,
+                        fields: parse_named_fields(g.stream())?,
+                        tuple: false,
+                    })
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ok(Item::Struct {
+                        name,
+                        fields: parse_tuple_fields(g.stream()),
+                        tuple: true,
+                    })
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                    name,
+                    fields: Vec::new(),
+                    tuple: false,
+                }),
+                _ => Err(format!("serde stub derive: malformed struct `{name}`")),
+            }
+        }
+        "enum" => {
+            let body = loop {
+                match tokens.get(pos) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        break g.stream()
+                    }
+                    Some(_) => pos += 1,
+                    None => return Err(format!("serde stub derive: malformed enum `{name}`")),
+                }
+            };
+            let variants = split_commas(body)
+                .into_iter()
+                .map(|tokens| {
+                    let (pos, _) = eat_attrs(&tokens, 0);
+                    let vname = match tokens.get(pos) {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        _ => return Err("serde stub derive: expected variant name".to_owned()),
+                    };
+                    let shape = match tokens.get(pos + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            VariantShape::Tuple(split_commas(g.stream()).len())
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantShape::Struct(parse_named_fields(g.stream())?)
+                        }
+                        _ => VariantShape::Unit,
+                    };
+                    Ok(Variant { name: vname, shape })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!(
+            "serde stub derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+// --- code generation -----------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &[Field], tuple: bool) -> String {
+    let body = if tuple {
+        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+        match live.as_slice() {
+            // Newtype structs serialize transparently, like serde.
+            [only] if fields.len() == 1 => {
+                format!("serde::Serialize::to_value(&self.{})", only.name)
+            }
+            _ => {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|f| format!("serde::Serialize::to_value(&self.{})", f.name))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+    } else {
+        let entries: Vec<String> = fields
+            .iter()
+            .filter(|f| !f.skip)
+            .map(|f| {
+                format!(
+                    "({:?}.to_string(), serde::Serialize::to_value(&self.{}))",
+                    f.name, f.name
+                )
+            })
+            .collect();
+        format!("serde::Value::Map(vec![{}])", entries.join(", "))
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field], tuple: bool) -> String {
+    let body = if tuple {
+        let mut args = Vec::new();
+        let live: Vec<usize> = fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.skip)
+            .map(|(i, _)| i)
+            .collect();
+        let newtype = fields.len() == 1 && live.len() == 1;
+        let mut live_idx = 0usize;
+        for field in fields {
+            if field.skip {
+                args.push("::core::default::Default::default()".to_owned());
+            } else if newtype {
+                args.push("serde::Deserialize::from_value(v)?".to_owned());
+            } else {
+                args.push(format!(
+                    "serde::Deserialize::from_value(v.element({live_idx})?)?"
+                ));
+                live_idx += 1;
+            }
+        }
+        format!("::core::result::Result::Ok({name}({}))", args.join(", "))
+    } else {
+        let inits: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                if f.skip {
+                    format!("{}: ::core::default::Default::default()", f.name)
+                } else {
+                    format!(
+                        "{}: serde::Deserialize::from_value(v.field({:?})?)?",
+                        f.name, f.name
+                    )
+                }
+            })
+            .collect();
+        format!(
+            "::core::result::Result::Ok({name} {{ {} }})",
+            inits.join(", ")
+        )
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) \
+              -> ::core::result::Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                );
+            }
+            VariantShape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let payload = if *n == 1 {
+                    "serde::Serialize::to_value(f0)".to_owned()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                };
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), {payload})]),",
+                    binders.join(", ")
+                );
+            }
+            VariantShape::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let entries: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), serde::Serialize::to_value({}))",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vname} {{ {} }} => serde::Value::Map(vec![({vname:?}.to_string(), \
+                     serde::Value::Map(vec![{}]))]),",
+                    binders.join(", "),
+                    entries.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                let _ = writeln!(
+                    unit_arms,
+                    "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
+                );
+            }
+            VariantShape::Tuple(n) => {
+                let args: Vec<String> = if *n == 1 {
+                    vec!["serde::Deserialize::from_value(payload)?".to_owned()]
+                } else {
+                    (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(payload.element({i})?)?"))
+                        .collect()
+                };
+                let _ = writeln!(
+                    tagged_arms,
+                    "{vname:?} => ::core::result::Result::Ok({name}::{vname}({})),",
+                    args.join(", ")
+                );
+            }
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::core::default::Default::default()", f.name)
+                        } else {
+                            format!(
+                                "{}: serde::Deserialize::from_value(payload.field({:?})?)?",
+                                f.name, f.name
+                            )
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    tagged_arms,
+                    "{vname:?} => ::core::result::Result::Ok({name}::{vname} {{ {} }}),",
+                    inits.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) \
+              -> ::core::result::Result<Self, serde::Error> {{\n\
+                 match v {{\n\
+                     serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::core::result::Result::Err(serde::Error::new(format!(\n\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     other => {{\n\
+                         let (tag, payload) = other.enum_entry()?;\n\
+                         let _ = payload;\n\
+                         match tag {{\n\
+                             {tagged_arms}\n\
+                             other => ::core::result::Result::Err(serde::Error::new(format!(\n\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
