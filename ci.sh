@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, tests, and the speclint static-analysis
-# pass over the shipped rule books, controllers and step lists.
+# CI gate: formatting, lints, docs, tests, the speclint static-analysis
+# pass over the shipped rule books, controllers and step lists, and the
+# certkit certification + explicit-vs-symbolic differential suite.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,10 +11,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> speclint --deny-warnings"
 cargo run -q -p speclint -- --deny-warnings
+
+echo "==> certkit gate (certification + differential suite)"
+cargo run -q -p certkit --release
 
 echo "ci: all gates passed"

@@ -1,0 +1,153 @@
+//! Independent re-validation of lasso counterexamples.
+//!
+//! A [`Counterexample`] returned by the model checker is an existential
+//! claim: *this* infinite behaviour exists in the product graph, is fair,
+//! and violates the specification. All three parts are re-derived here
+//! from the graph and the formula alone — nothing about how the lasso
+//! was found is trusted.
+
+use crate::lasso::{self, eval_prop};
+use crate::CertError;
+use autokit::LabelGraph;
+use ltlcheck::{CexStep, Counterexample, Justice, Ltl};
+use std::collections::BTreeSet;
+
+/// Graph nodes that could have produced `step`: same product origin and
+/// the exact same step label.
+fn candidates(graph: &LabelGraph, step: &CexStep) -> Vec<usize> {
+    (0..graph.num_nodes())
+        .filter(|&i| graph.origin[i] == step.state && graph.labels[i] == (step.props, step.acts))
+        .collect()
+}
+
+/// Validates a [`ltlcheck::Verdict::Fails`] witness against the graph,
+/// the justice assumptions and the specification.
+///
+/// Checks, in order:
+/// 1. the cycle is non-empty and each step corresponds to at least one
+///    graph node (matching origin **and** label);
+/// 2. some assignment of steps to nodes closes the cycle along real
+///    graph edges;
+/// 3. the stem starts at an initial node, follows real edges, and
+///    connects to a viable cycle entry (or, with an empty stem, a viable
+///    cycle entry is itself initial);
+/// 4. every justice condition holds at some cycle step (re-evaluated by
+///    certkit's own propositional evaluator);
+/// 5. the lasso word satisfies `¬φ` per certkit's independent
+///    [`lasso::holds_on_lasso`] oracle.
+///
+/// # Errors
+///
+/// Returns the first failed check as a [`CertError`].
+pub fn check_fails(
+    graph: &LabelGraph,
+    phi: &Ltl,
+    justice: &[Justice],
+    cex: &Counterexample,
+) -> Result<(), CertError> {
+    if cex.cycle.is_empty() {
+        return Err(CertError::EmptyCycle);
+    }
+
+    // --- step 1: per-step candidate nodes -------------------------------
+    let cyc: Vec<Vec<usize>> = cex.cycle.iter().map(|s| candidates(graph, s)).collect();
+    for (k, c) in cyc.iter().enumerate() {
+        if c.is_empty() {
+            return Err(CertError::CycleStepNotInGraph { step: k });
+        }
+    }
+
+    // --- step 2: close the cycle along real edges -----------------------
+    // A cycle entry `v` is viable if a path v → cyc[1] → … → cyc[last]
+    // exists with an edge back to `v`. Forward set-filtering per entry.
+    let viable: Vec<usize> = cyc[0]
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let mut cur: BTreeSet<usize> = BTreeSet::from([v]);
+            for next in cyc.iter().skip(1) {
+                cur = cur
+                    .iter()
+                    .flat_map(|&u| graph.succs[u].iter().copied())
+                    .filter(|x| next.contains(x))
+                    .collect();
+                if cur.is_empty() {
+                    return false;
+                }
+            }
+            cur.iter().any(|&u| graph.succs[u].contains(&v))
+        })
+        .collect();
+    if viable.is_empty() {
+        return Err(CertError::CycleNotClosed);
+    }
+
+    // --- step 3: stem from an initial node into the cycle ---------------
+    if cex.stem.is_empty() {
+        if !viable.iter().any(|v| graph.initial.contains(v)) {
+            return Err(CertError::StemNotInitial);
+        }
+    } else {
+        let stems: Vec<Vec<usize>> = cex.stem.iter().map(|s| candidates(graph, s)).collect();
+        for (k, c) in stems.iter().enumerate() {
+            if c.is_empty() {
+                return Err(CertError::StemStepNotInGraph { step: k });
+            }
+        }
+        let mut cur: BTreeSet<usize> = stems[0]
+            .iter()
+            .copied()
+            .filter(|v| graph.initial.contains(v))
+            .collect();
+        if cur.is_empty() {
+            return Err(CertError::StemNotInitial);
+        }
+        for (k, next) in stems.iter().enumerate().skip(1) {
+            cur = cur
+                .iter()
+                .flat_map(|&u| graph.succs[u].iter().copied())
+                .filter(|x| next.contains(x))
+                .collect();
+            if cur.is_empty() {
+                return Err(CertError::StemStepNotInGraph { step: k });
+            }
+        }
+        let connects = cur
+            .iter()
+            .any(|&u| viable.iter().any(|&v| graph.succs[u].contains(&v)));
+        if !connects {
+            return Err(CertError::StemDisconnected);
+        }
+    }
+
+    // --- step 4: justice recurrence on the cycle ------------------------
+    for j in justice {
+        let mut witnessed = false;
+        for s in &cex.cycle {
+            match eval_prop(j.condition(), s.props, s.acts) {
+                Some(true) => {
+                    witnessed = true;
+                    break;
+                }
+                Some(false) => {}
+                None => {
+                    return Err(CertError::NonPropositionalJustice {
+                        name: j.name().to_owned(),
+                    })
+                }
+            }
+        }
+        if !witnessed {
+            return Err(CertError::JusticeUnwitnessed {
+                name: j.name().to_owned(),
+            });
+        }
+    }
+
+    // --- step 5: the word violates the specification --------------------
+    let neg = Ltl::not(phi.clone());
+    if !lasso::holds_on_lasso(&neg, &cex.stem_labels(), &cex.cycle_labels()) {
+        return Err(CertError::FormulaNotViolated);
+    }
+    Ok(())
+}

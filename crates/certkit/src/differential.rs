@@ -1,0 +1,265 @@
+//! Explicit-vs-symbolic differential harness.
+//!
+//! Both `ltlcheck` backends — the explicit-state SCC search
+//! ([`ltlcheck::check_graph_fair`]) and the BDD-based Emerson–Lei
+//! fixpoint ([`ltlcheck::symbolic::check_graph_fair_symbolic`]) — decide
+//! the same question. Any disagreement means at least one of them is
+//! wrong, which would silently poison every preference pair the training
+//! loop ranks. This module detects disagreements, shrinks them to a
+//! minimal reproducer (greedy delta-debugging over graph nodes, edges
+//! and formula subterms), and serializes the reproducer as JSON.
+
+use autokit::LabelGraph;
+use ltlcheck::symbolic::check_graph_fair_symbolic;
+use ltlcheck::{check_graph_fair, Justice, Ltl};
+use serde::{Deserialize, Serialize};
+
+/// A case where the two backends returned different verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Disagreement {
+    /// The graph both backends checked.
+    pub graph: LabelGraph,
+    /// The specification both backends checked.
+    pub phi: Ltl,
+    /// Names of the justice assumptions in force (conditions are
+    /// reconstructed by the repro consumer from its own domain).
+    pub justice_names: Vec<String>,
+    /// The explicit backend's verdict.
+    pub explicit_holds: bool,
+    /// The symbolic backend's verdict.
+    pub symbolic_holds: bool,
+}
+
+/// Runs both backends; returns a [`Disagreement`] if their verdicts
+/// differ, `None` when they agree.
+pub fn differential(graph: &LabelGraph, phi: &Ltl, justice: &[Justice]) -> Option<Disagreement> {
+    let explicit_holds = check_graph_fair(graph, phi, justice).holds();
+    let symbolic_holds = check_graph_fair_symbolic(graph, phi, justice);
+    if explicit_holds == symbolic_holds {
+        return None;
+    }
+    Some(Disagreement {
+        graph: graph.clone(),
+        phi: phi.clone(),
+        justice_names: justice.iter().map(|j| j.name().to_owned()).collect(),
+        explicit_holds,
+        symbolic_holds,
+    })
+}
+
+/// Greedily shrinks a disagreement while it still reproduces: drop graph
+/// nodes, then individual edges, then simplify the formula. Every
+/// candidate is re-checked against both backends, so the result is a
+/// (locally) minimal disagreement.
+pub fn minimize(dis: &Disagreement, justice: &[Justice]) -> Disagreement {
+    let still_disagrees = |graph: &LabelGraph, phi: &Ltl| -> bool {
+        !graph.initial.is_empty()
+            && check_graph_fair(graph, phi, justice).holds()
+                != check_graph_fair_symbolic(graph, phi, justice)
+    };
+    let mut cur = dis.clone();
+    loop {
+        let mut shrunk = false;
+        // Nodes.
+        for v in 0..cur.graph.num_nodes() {
+            if cur.graph.num_nodes() <= 1 {
+                break;
+            }
+            let g = remove_node(&cur.graph, v);
+            if still_disagrees(&g, &cur.phi) {
+                cur.graph = g;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        // Edges.
+        'edges: for v in 0..cur.graph.num_nodes() {
+            for k in 0..cur.graph.succs[v].len() {
+                let mut g = cur.graph.clone();
+                g.succs[v].remove(k);
+                if still_disagrees(&g, &cur.phi) {
+                    cur.graph = g;
+                    shrunk = true;
+                    break 'edges;
+                }
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        // Formula. Only strictly smaller candidates are accepted, which
+        // guarantees termination of the outer loop.
+        for cand in shrinks(&cur.phi) {
+            if cand.size() < cur.phi.size() && still_disagrees(&cur.graph, &cand) {
+                cur.phi = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    cur.explicit_holds = check_graph_fair(&cur.graph, &cur.phi, justice).holds();
+    cur.symbolic_holds = check_graph_fair_symbolic(&cur.graph, &cur.phi, justice);
+    cur
+}
+
+/// The graph with node `v` (and all edges touching it) removed and the
+/// remaining nodes re-indexed.
+fn remove_node(graph: &LabelGraph, v: usize) -> LabelGraph {
+    let remap = |u: usize| if u > v { u - 1 } else { u };
+    let keep = |u: &usize| *u != v;
+    LabelGraph {
+        labels: graph
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != v)
+            .map(|(_, &l)| l)
+            .collect(),
+        origin: graph
+            .origin
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != v)
+            .map(|(_, &o)| o)
+            .collect(),
+        succs: graph
+            .succs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != v)
+            .map(|(_, s)| s.iter().filter(|u| keep(u)).map(|&u| remap(u)).collect())
+            .collect(),
+        initial: graph
+            .initial
+            .iter()
+            .filter(|u| keep(u))
+            .map(|&u| remap(u))
+            .collect(),
+    }
+}
+
+/// Shrink candidates for a formula: the constants, each operand, and
+/// each operand recursively shrunk in place.
+fn shrinks(phi: &Ltl) -> Vec<Ltl> {
+    let mut out = vec![Ltl::True, Ltl::False];
+    match phi {
+        Ltl::True | Ltl::False | Ltl::Atom(_) => {}
+        Ltl::Not(x) => {
+            out.push((**x).clone());
+            out.extend(shrinks(x).into_iter().map(Ltl::not));
+        }
+        Ltl::Next(x) => {
+            out.push((**x).clone());
+            out.extend(shrinks(x).into_iter().map(Ltl::next));
+        }
+        Ltl::And(l, r) => binary_shrinks(&mut out, l, r, Ltl::and),
+        Ltl::Or(l, r) => binary_shrinks(&mut out, l, r, Ltl::or),
+        Ltl::Until(l, r) => binary_shrinks(&mut out, l, r, Ltl::until),
+        Ltl::Release(l, r) => binary_shrinks(&mut out, l, r, Ltl::release),
+    }
+    out
+}
+
+fn binary_shrinks(out: &mut Vec<Ltl>, l: &Ltl, r: &Ltl, rebuild: impl Fn(Ltl, Ltl) -> Ltl) {
+    out.push(l.clone());
+    out.push(r.clone());
+    out.extend(shrinks(l).into_iter().map(|s| rebuild(s, r.clone())));
+    out.extend(shrinks(r).into_iter().map(|s| rebuild(l.clone(), s)));
+}
+
+/// Serializes a disagreement as pretty-printed JSON, ready to be dumped
+/// to a repro file.
+///
+/// # Errors
+///
+/// Returns the underlying serialization error, which for this plain data
+/// type indicates a serializer bug.
+pub fn repro_json(dis: &Disagreement) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(dis)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use autokit::{ActSet, ProductState, PropSet, Vocab};
+    use ltlcheck::parse;
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        v.add_prop("a").unwrap();
+        v.add_prop("b").unwrap();
+        v.add_act("s").unwrap();
+        v
+    }
+
+    fn two_state_graph(v: &Vocab) -> LabelGraph {
+        let a = v.prop("a").unwrap();
+        LabelGraph {
+            labels: vec![
+                (PropSet::singleton(a), ActSet::empty()),
+                (PropSet::empty(), ActSet::empty()),
+            ],
+            origin: vec![ProductState { model: 0, ctrl: 0 }; 2],
+            succs: vec![vec![0, 1], vec![0, 1]],
+            initial: vec![0],
+        }
+    }
+
+    #[test]
+    fn agreeing_backends_yield_none() {
+        let v = vocab();
+        let graph = two_state_graph(&v);
+        for spec in ["G a", "F !a", "G F a", "a U b"] {
+            let phi = parse(spec, &v).unwrap();
+            assert!(differential(&graph, &phi, &[]).is_none(), "{spec}");
+        }
+    }
+
+    /// Minimization shrinks a fabricated disagreement down to a tiny
+    /// reproducer while preserving the property "backends disagree" —
+    /// exercised here with a fake disagreement observed on an agreeing
+    /// pair, where minimize must simply return a consistent record.
+    #[test]
+    fn minimize_is_stable_on_agreement() {
+        let v = vocab();
+        let graph = two_state_graph(&v);
+        let phi = parse("G F a", &v).unwrap();
+        let dis = Disagreement {
+            graph: graph.clone(),
+            phi: phi.clone(),
+            justice_names: Vec::new(),
+            explicit_holds: true,
+            symbolic_holds: false,
+        };
+        // No shrink reproduces (there is no real disagreement), so the
+        // record keeps its shape and the verdict fields are refreshed to
+        // the true (agreeing) values.
+        let min = minimize(&dis, &[]);
+        assert_eq!(min.explicit_holds, min.symbolic_holds);
+        assert_eq!(min.graph.num_nodes(), graph.num_nodes());
+    }
+
+    #[test]
+    fn repro_round_trips_through_json() {
+        let v = vocab();
+        let dis = Disagreement {
+            graph: two_state_graph(&v),
+            phi: parse("G F a", &v).unwrap(),
+            justice_names: vec!["a io".to_owned()],
+            explicit_holds: true,
+            symbolic_holds: false,
+        };
+        let json = repro_json(&dis).unwrap();
+        let back: Disagreement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.graph, dis.graph);
+        assert_eq!(back.phi, dis.phi);
+        assert_eq!(back.justice_names, dis.justice_names);
+    }
+}

@@ -1,0 +1,155 @@
+//! Linear-time validation of emptiness certificates.
+//!
+//! A [`HoldsCertificate`] claims: *no fair accepting cycle is reachable
+//! in the product of the graph with the Büchi automaton of `¬φ`*. The
+//! checker re-derives every part of that claim from the graph and the
+//! certificate data — it never re-runs the search, never rebuilds the
+//! automaton, and evaluates all label constraints with certkit's own
+//! atom evaluator. The one thing it trusts is that the embedded
+//! automaton is a faithful translation of `¬φ` (see DESIGN.md's trust
+//! argument for how that residual assumption is discharged).
+
+use crate::lasso::{atom_holds, eval_prop};
+use crate::CertError;
+use autokit::LabelGraph;
+use ltlcheck::{HoldsCertificate, Justice};
+use std::collections::HashMap;
+
+/// Validates a [`ltlcheck::Verdict::Holds`] emptiness certificate.
+///
+/// Checks, in time linear in the certificate and the product edges:
+/// 1. `states` and `comp` have equal length, all entries are in range,
+///    and no product pair is listed twice;
+/// 2. every label-consistent initial pair is listed;
+/// 3. the listed set is closed under label-consistent successors;
+/// 4. edges never increase the component id, so any cycle is confined to
+///    one component;
+/// 5. no component simultaneously has an internal edge, an accepting
+///    state, and a witness for every justice condition.
+///
+/// Together, 2–5 imply the product contains no reachable fair accepting
+/// cycle: a violating run would consist entirely of listed pairs (by 2
+/// and 3), eventually stay inside one component (by 4), and that
+/// component would be fair and accepting with a real cycle —
+/// contradicting 5.
+///
+/// # Errors
+///
+/// Returns the first failed check as a [`CertError`].
+pub fn check_holds(
+    graph: &LabelGraph,
+    justice: &[Justice],
+    cert: &HoldsCertificate,
+) -> Result<(), CertError> {
+    let HoldsCertificate {
+        buchi,
+        states,
+        comp,
+    } = cert;
+    let bs = buchi.states();
+    let nb = bs.len();
+    // An empty automaton accepts nothing: the negated specification is
+    // unsatisfiable, so the specification holds on every graph.
+    if nb == 0 {
+        return Ok(());
+    }
+    if states.len() != comp.len() {
+        return Err(CertError::LengthMismatch {
+            states: states.len(),
+            comps: comp.len(),
+        });
+    }
+
+    let ng = graph.num_nodes();
+    // Label consistency, evaluated with certkit's own atom semantics.
+    let matches = |g: usize, b: usize| -> bool {
+        let (props, acts) = graph.labels[g];
+        bs[b].pos.iter().all(|&a| atom_holds(a, props, acts))
+            && bs[b].neg.iter().all(|&a| !atom_holds(a, props, acts))
+    };
+
+    // --- check 1: well-formedness ---------------------------------------
+    let mut index: HashMap<(u32, u32), usize> = HashMap::with_capacity(states.len());
+    for (i, &s) in states.iter().enumerate() {
+        if s.0 as usize >= ng || s.1 as usize >= nb {
+            return Err(CertError::StateOutOfRange { state: s });
+        }
+        if index.insert(s, i).is_some() {
+            return Err(CertError::DuplicateState { state: s });
+        }
+    }
+    for st in bs {
+        if st.succs.iter().any(|&b2| b2 >= nb) {
+            return Err(CertError::MalformedAutomaton);
+        }
+    }
+    if buchi.initial().iter().any(|&b| b >= nb) {
+        return Err(CertError::MalformedAutomaton);
+    }
+
+    // --- check 2: initial coverage --------------------------------------
+    for &g in &graph.initial {
+        for &b in buchi.initial() {
+            if matches(g, b) && !index.contains_key(&(g as u32, b as u32)) {
+                return Err(CertError::MissingInitial {
+                    state: (g as u32, b as u32),
+                });
+            }
+        }
+    }
+
+    // --- checks 3–5: closure, ranking, per-component fairness -----------
+    let num_comps = comp.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let nf = justice.len();
+    let mut has_edge = vec![false; num_comps];
+    let mut accept = vec![false; num_comps];
+    let mut fair = vec![vec![false; nf]; num_comps];
+    for (i, &(g, b)) in states.iter().enumerate() {
+        let c = comp[i] as usize;
+        if bs[b as usize].accepting {
+            accept[c] = true;
+        }
+        let (props, acts) = graph.labels[g as usize];
+        for (j, cond) in justice.iter().enumerate() {
+            match eval_prop(cond.condition(), props, acts) {
+                Some(true) => fair[c][j] = true,
+                Some(false) => {}
+                None => {
+                    return Err(CertError::NonPropositionalJustice {
+                        name: cond.name().to_owned(),
+                    })
+                }
+            }
+        }
+        for &g2 in &graph.succs[g as usize] {
+            for &b2 in &bs[b as usize].succs {
+                if !matches(g2, b2) {
+                    continue;
+                }
+                let t = (g2 as u32, b2 as u32);
+                let Some(&i2) = index.get(&t) else {
+                    return Err(CertError::MissingSuccessor {
+                        from: (g, b),
+                        to: t,
+                    });
+                };
+                let c2 = comp[i2] as usize;
+                if c2 > c {
+                    return Err(CertError::RankIncrease {
+                        from: (g, b),
+                        to: t,
+                    });
+                }
+                if c2 == c {
+                    has_edge[c] = true;
+                }
+            }
+        }
+    }
+    for c in 0..num_comps {
+        if has_edge[c] && accept[c] && (0..nf).all(|j| fair[c][j]) {
+            return Err(CertError::FairComponent { comp: c as u32 });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,242 @@
+//! The certkit CI gate.
+//!
+//! Runs two suites and exits non-zero if either finds a problem:
+//!
+//! 1. **Preset certification** — every preset scenario × rule-book case
+//!    is model-checked with certificates and each verdict's evidence is
+//!    validated by the independent checker; then the explicit and
+//!    symbolic backends are differentially compared on the same matrix.
+//! 2. **Randomized differential + certification** — seeded random
+//!    graphs and formulas (mirroring the proptest generators) are run
+//!    through both backends and through certificate validation.
+//!
+//! Any backend disagreement is minimized and dumped as a JSON repro
+//! file (`certkit-repro-*.json`) before exiting.
+//!
+//! Usage: `certkit [--random N] [--seed S]`
+
+// A CI gate terminates on the first inconsistency; panicking accessors
+// are the point here, not a liability.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use autokit::{ActSet, LabelGraph, ProductState, PropSet, Vocab};
+use certkit::differential::{differential, minimize, repro_json, Disagreement};
+use ltlcheck::{Justice, Ltl};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut random_cases: usize = 200;
+    let mut seed: u64 = 0x00C0_FFEE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--random" => {
+                random_cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--random takes a count");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a u64");
+            }
+            other => {
+                eprintln!("usage: certkit [--random N] [--seed S] (got `{other}`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut repros = 0usize;
+
+    // --- suite 1: preset certification + differential -------------------
+    println!("certkit: certifying preset scenario × rule-book matrix...");
+    let report = match certkit::certify_presets() {
+        Ok(r) => r,
+        Err((name, e)) => {
+            eprintln!("certkit: FAIL: verdict evidence rejected on {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "certkit: ok: {} cases, {} checks ({} holds, {} fails) all certified",
+        report.cases, report.checks, report.holds, report.fails
+    );
+
+    println!("certkit: differential explicit-vs-symbolic on the preset matrix...");
+    let mut preset_checks = 0usize;
+    for case in certkit::presets::preset_cases() {
+        for spec in &case.specs {
+            preset_checks += 1;
+            if let Some(dis) = differential(&case.graph, &spec.formula, &case.justice) {
+                let name = format!(
+                    "{}/{}/{} × {}",
+                    case.domain, case.scenario, case.controller, spec.name
+                );
+                report_disagreement(&name, &dis, &case.justice, &mut repros);
+            }
+        }
+    }
+    if repros == 0 {
+        println!("certkit: ok: {preset_checks} preset checks, backends agree");
+    }
+
+    // --- suite 2: randomized differential + certification ----------------
+    println!(
+        "certkit: randomized differential + certification ({random_cases} cases, seed {seed})..."
+    );
+    let vocab = gate_vocab();
+    let justice_pool = [
+        Vec::new(),
+        vec![Justice::new("a io", ltlcheck::parse("a", &vocab).unwrap()).unwrap()],
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cert_failures = 0usize;
+    for case in 0..random_cases {
+        let graph = random_graph(&mut rng, &vocab);
+        let phi = random_formula(&mut rng, &vocab, 3);
+        let justice = &justice_pool[case % justice_pool.len()];
+        if let Some(dis) = differential(&graph, &phi, justice) {
+            report_disagreement(&format!("random case {case}"), &dis, justice, &mut repros);
+        }
+        let certified = ltlcheck::check_graph_fair_certified(&graph, &phi, justice);
+        if let Err(e) = certkit::check_certified(&graph, &phi, justice, &certified) {
+            eprintln!("certkit: FAIL: random case {case}: evidence rejected: {e}");
+            cert_failures += 1;
+        }
+    }
+    if repros == 0 && cert_failures == 0 {
+        println!("certkit: ok: {random_cases} random cases, backends agree, all certified");
+        println!("certkit: gate passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "certkit: gate FAILED: {repros} backend disagreement(s), {cert_failures} rejected verdict(s)"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Prints, minimizes and dumps one backend disagreement.
+fn report_disagreement(name: &str, dis: &Disagreement, justice: &[Justice], repros: &mut usize) {
+    eprintln!(
+        "certkit: FAIL: {name}: explicit says {}, symbolic says {}",
+        verdict_word(dis.explicit_holds),
+        verdict_word(dis.symbolic_holds)
+    );
+    let min = minimize(dis, justice);
+    let path = format!("certkit-repro-{}.json", *repros);
+    match repro_json(&min).map(|json| std::fs::write(&path, json)) {
+        Ok(Ok(())) => eprintln!(
+            "certkit:       minimized to {} node(s), formula size {}; repro written to {path}",
+            min.graph.num_nodes(),
+            min.phi.size()
+        ),
+        Ok(Err(e)) => eprintln!("certkit:       could not write {path}: {e}"),
+        Err(e) => eprintln!("certkit:       could not serialize repro: {e}"),
+    }
+    *repros += 1;
+}
+
+fn verdict_word(holds: bool) -> &'static str {
+    if holds {
+        "holds"
+    } else {
+        "fails"
+    }
+}
+
+/// The gate's random-case vocabulary: two propositions and one action,
+/// mirroring the in-crate proptest generators.
+fn gate_vocab() -> Vocab {
+    let mut v = Vocab::new();
+    v.add_prop("a").unwrap();
+    v.add_prop("b").unwrap();
+    v.add_act("s").unwrap();
+    v
+}
+
+/// A random non-blocking label graph over the gate vocabulary: 1–6 nodes
+/// with random labels, random edges, self-loops patched in where a node
+/// would deadlock.
+fn random_graph(rng: &mut StdRng, v: &Vocab) -> LabelGraph {
+    let a = v.prop("a").unwrap();
+    let b = v.prop("b").unwrap();
+    let s = v.act("s").unwrap();
+    let n = rng.gen_range(1usize..=6);
+    let labels: Vec<(PropSet, ActSet)> = (0..n)
+        .map(|_| {
+            let mut props = PropSet::empty();
+            if rng.gen_bool(0.5) {
+                props.insert(a);
+            }
+            if rng.gen_bool(0.5) {
+                props.insert(b);
+            }
+            let mut acts = ActSet::empty();
+            if rng.gen_bool(0.5) {
+                acts.insert(s);
+            }
+            (props, acts)
+        })
+        .collect();
+    let mut succs = vec![Vec::new(); n];
+    let edges = rng.gen_range(1usize..=2 * n);
+    for _ in 0..edges {
+        let from = rng.gen_range(0..n);
+        let to = rng.gen_range(0..n);
+        if !succs[from].contains(&to) {
+            succs[from].push(to);
+        }
+    }
+    for (i, out) in succs.iter_mut().enumerate() {
+        if out.is_empty() {
+            out.push(i);
+        }
+    }
+    LabelGraph {
+        origin: (0..n).map(|i| ProductState { model: i, ctrl: 0 }).collect(),
+        labels,
+        succs,
+        initial: vec![0],
+    }
+}
+
+/// A random LTL formula of bounded depth over the gate vocabulary.
+fn random_formula(rng: &mut StdRng, v: &Vocab, depth: usize) -> Ltl {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        match rng.gen_range(0u8..5) {
+            0 => Ltl::True,
+            1 => Ltl::False,
+            2 => Ltl::prop(v.prop("a").unwrap()),
+            3 => Ltl::prop(v.prop("b").unwrap()),
+            _ => Ltl::act(v.act("s").unwrap()),
+        }
+    } else {
+        match rng.gen_range(0u8..6) {
+            0 => Ltl::not(random_formula(rng, v, depth - 1)),
+            1 => Ltl::next(random_formula(rng, v, depth - 1)),
+            2 => Ltl::and(
+                random_formula(rng, v, depth - 1),
+                random_formula(rng, v, depth - 1),
+            ),
+            3 => Ltl::or(
+                random_formula(rng, v, depth - 1),
+                random_formula(rng, v, depth - 1),
+            ),
+            4 => Ltl::until(
+                random_formula(rng, v, depth - 1),
+                random_formula(rng, v, depth - 1),
+            ),
+            _ => Ltl::release(
+                random_formula(rng, v, depth - 1),
+                random_formula(rng, v, depth - 1),
+            ),
+        }
+    }
+}

@@ -12,11 +12,11 @@
 //! are unsatisfiable against a fully adversarial environment.
 
 use crate::domain::{DomainBundle, TaskSpec};
-use autokit::{presets::DrivingDomain, Controller, WorldModel};
+use autokit::{presets::DrivingDomain, Controller, DeadlockPolicy, Product, WorldModel};
 use drivesim::ScenarioKind;
 use glm2fsa::{synthesize, with_default_action, FsaOptions};
 use ltlcheck::specs::driving_specs;
-use ltlcheck::{verify_all_fair, Justice, Ltl, VerificationReport};
+use ltlcheck::{verify_all_fair, Justice, SpecResult, VerificationReport};
 use serde::{Deserialize, Serialize};
 
 /// FSA-construction options for the driving domain: `stop` is a
@@ -31,39 +31,20 @@ pub fn fsa_options(d: &DrivingDomain) -> FsaOptions {
 }
 
 /// The scenario's world model (paper Figures 5, 6, 15, 16, 17).
+///
+/// Thin re-export of [`drivesim::formal::scenario_model`], the single
+/// source of truth shared with `speclint` and `certkit`.
 pub fn scenario_model(d: &DrivingDomain, kind: ScenarioKind) -> WorldModel {
-    match kind {
-        ScenarioKind::TrafficLight => d.traffic_light_model(),
-        ScenarioKind::LeftTurnSignal => d.left_turn_light_model(),
-        ScenarioKind::WideMedian => d.wide_median_model(),
-        ScenarioKind::TwoWayStop => d.two_way_stop_model(),
-        ScenarioKind::Roundabout => d.roundabout_model(),
-    }
+    drivesim::formal::scenario_model(d, kind)
 }
 
 /// The scenario's justice assumptions: infinitely often, the intersection
 /// is clear (and its light, if any, is green) — i.e. the environment
 /// eventually gives the vehicle a chance to move.
-// The justice conditions are propositional by construction.
-#[allow(clippy::expect_used)]
+///
+/// Thin re-export of [`drivesim::formal::scenario_justice`].
 pub fn justice_for(d: &DrivingDomain, kind: ScenarioKind) -> Vec<Justice> {
-    let clear_of = |props: &[autokit::PropId]| -> Ltl {
-        Ltl::all(props.iter().map(|&p| Ltl::not(Ltl::prop(p))))
-    };
-    let condition = match kind {
-        ScenarioKind::TrafficLight => Ltl::and(
-            Ltl::prop(d.green_tl),
-            clear_of(&[d.car_left, d.opposite_car, d.ped_right, d.ped_front]),
-        ),
-        ScenarioKind::LeftTurnSignal => Ltl::and(
-            Ltl::prop(d.green_ll),
-            clear_of(&[d.opposite_car, d.ped_front]),
-        ),
-        ScenarioKind::WideMedian => clear_of(&[d.car_left, d.car_right]),
-        ScenarioKind::TwoWayStop => clear_of(&[d.car_left, d.car_right, d.ped_front]),
-        ScenarioKind::Roundabout => clear_of(&[d.car_left, d.ped_left, d.ped_right]),
-    };
-    vec![Justice::new("way eventually clears", condition).expect("propositional by construction")]
+    drivesim::formal::scenario_justice(d, kind)
 }
 
 /// Pre-flight static analysis of the rule book: runs the `speclint` spec
@@ -112,6 +93,66 @@ pub fn preflight_response(
     }
 }
 
+/// Counters from certified-mode verification: how many verdicts were
+/// produced and independently validated, by polarity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertCounters {
+    /// Verdicts produced and certificate-checked.
+    pub checks: usize,
+    /// `Holds` verdicts whose emptiness certificate validated.
+    pub holds: usize,
+    /// `Fails` verdicts whose counterexample validated.
+    pub fails: usize,
+}
+
+impl CertCounters {
+    /// Accumulates another batch of counters into this one.
+    pub fn add(&mut self, other: CertCounters) {
+        self.checks += other.checks;
+        self.holds += other.holds;
+        self.fails += other.fails;
+    }
+}
+
+/// [`verify_all_fair`] with certificates: every verdict's evidence is
+/// validated by `certkit`'s independent checker before it is allowed
+/// into the report.
+///
+/// # Panics
+///
+/// Panics when a certificate or counterexample is rejected — that means
+/// the model checker produced an unsupported verdict, and training on it
+/// would poison the preference signal. Fail loudly, never rank.
+pub fn verify_all_fair_certified<'a>(
+    model: &WorldModel,
+    ctrl: &Controller,
+    specs: impl IntoIterator<Item = (&'a str, &'a ltlcheck::Ltl)>,
+    justice: &[Justice],
+) -> (VerificationReport, CertCounters) {
+    let graph = Product::build(model, ctrl).label_graph(DeadlockPolicy::Stutter);
+    let mut counters = CertCounters::default();
+    let results = specs
+        .into_iter()
+        .map(|(name, phi)| {
+            let certified = ltlcheck::check_graph_fair_certified(&graph, phi, justice);
+            if let Err(e) = certkit::check_certified(&graph, phi, justice, &certified) {
+                panic!("model-checker evidence for `{name}` rejected: {e}");
+            }
+            counters.checks += 1;
+            if certified.holds() {
+                counters.holds += 1;
+            } else {
+                counters.fails += 1;
+            }
+            SpecResult {
+                name: name.to_owned(),
+                verdict: certified.verdict(),
+            }
+        })
+        .collect();
+    (VerificationReport { results }, counters)
+}
+
 /// A response with its verification outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScoredResponse {
@@ -137,6 +178,33 @@ pub struct ScoredResponse {
 /// lint-`Error` findings is rejected before any synthesis or model
 /// checking happens.
 pub fn score_response(bundle: &DomainBundle, task: &TaskSpec, text: &str) -> ScoredResponse {
+    score_response_impl(bundle, task, text, None)
+}
+
+/// [`score_response`] in certified mode: every model-checking verdict's
+/// evidence is validated by `certkit` before it contributes to the
+/// score, and the validation counters are returned alongside.
+///
+/// # Panics
+///
+/// Panics when any verdict's certificate or counterexample is rejected
+/// (see [`verify_all_fair_certified`]).
+pub fn score_response_certified(
+    bundle: &DomainBundle,
+    task: &TaskSpec,
+    text: &str,
+) -> (ScoredResponse, CertCounters) {
+    let mut counters = CertCounters::default();
+    let scored = score_response_impl(bundle, task, text, Some(&mut counters));
+    (scored, counters)
+}
+
+fn score_response_impl(
+    bundle: &DomainBundle,
+    task: &TaskSpec,
+    text: &str,
+    counters: Option<&mut CertCounters>,
+) -> ScoredResponse {
     let rejected = ScoredResponse {
         text: text.to_owned(),
         controller: None,
@@ -162,12 +230,15 @@ pub fn score_response(bundle: &DomainBundle, task: &TaskSpec, text: &str) -> Sco
     let model = scenario_model(&bundle.driving, task.scenario);
     let justice = justice_for(&bundle.driving, task.scenario);
     let specs = driving_specs(&bundle.driving);
-    let report = verify_all_fair(
-        &model,
-        &ctrl,
-        specs.iter().map(|s| (s.name.as_str(), &s.formula)),
-        &justice,
-    );
+    let named = specs.iter().map(|s| (s.name.as_str(), &s.formula));
+    let report = match counters {
+        Some(counters) => {
+            let (report, c) = verify_all_fair_certified(&model, &ctrl, named, &justice);
+            counters.add(c);
+            report
+        }
+        None => verify_all_fair(&model, &ctrl, named, &justice),
+    };
     ScoredResponse {
         text: text.to_owned(),
         num_satisfied: report.num_satisfied(),
@@ -183,6 +254,15 @@ pub fn score_tokens(
     tokens: &[tinylm::Token],
 ) -> ScoredResponse {
     score_response(bundle, task, &bundle.decode(tokens))
+}
+
+/// [`score_response_certified`] on encoded tokens.
+pub fn score_tokens_certified(
+    bundle: &DomainBundle,
+    task: &TaskSpec,
+    tokens: &[tinylm::Token],
+) -> (ScoredResponse, CertCounters) {
+    score_response_certified(bundle, task, &bundle.decode(tokens))
 }
 
 /// Per-specification empirical satisfaction rates `P_Φ` from simulator
@@ -266,6 +346,29 @@ mod tests {
             hasty.num_satisfied,
             reckless.num_satisfied
         );
+    }
+
+    /// Certified scoring returns the same ranking signal as the plain
+    /// path — it only adds evidence validation — and its counters account
+    /// for every specification exactly once.
+    #[test]
+    fn certified_scoring_matches_plain_and_counts() {
+        let bundle = DomainBundle::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let task = &bundle.tasks[0];
+        for style in [Style::Careful, Style::Reckless] {
+            let text = render_response(&bundle.driving, task, style, &mut rng);
+            let plain = score_response(&bundle, task, &text);
+            let (certified, counters) = score_response_certified(&bundle, task, &text);
+            assert_eq!(plain.num_satisfied, certified.num_satisfied, "{style:?}");
+            assert_eq!(counters.checks, 15, "{style:?}");
+            assert_eq!(counters.holds, certified.num_satisfied, "{style:?}");
+            assert_eq!(
+                counters.holds + counters.fails,
+                counters.checks,
+                "{style:?}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::domain::DomainBundle;
 use crate::domain::TaskSpec;
-use crate::feedback::{empirical_rates, score_tokens};
+use crate::feedback::{empirical_rates, score_tokens, score_tokens_certified, CertCounters};
 use dpo::{DpoTrainer, EpochStats, PreferenceDataset, TrainOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,6 +66,14 @@ pub struct PipelineConfig {
     /// verification, or empirical evaluation in the simulator when no
     /// world model is available).
     pub feedback: FeedbackSource,
+    /// Certified mode: every model-checking verdict behind a score is
+    /// accompanied by evidence (an emptiness certificate or a lasso
+    /// counterexample) that `certkit`'s independent checker validates
+    /// before the verdict may rank responses. A rejected certificate
+    /// aborts the run — a silent model-checker bug would otherwise poison
+    /// every preference pair. Off by default (it roughly doubles
+    /// verification cost; see EXPERIMENTS.md).
+    pub certified: bool,
 }
 
 /// The source of the automated ranking signal.
@@ -117,6 +125,7 @@ impl Default for PipelineConfig {
             lm_hidden: 64,
             lm_context: 5,
             feedback: FeedbackSource::Formal,
+            certified: false,
         }
     }
 }
@@ -173,6 +182,9 @@ pub struct RunArtifacts {
     pub checkpoint_evals: Vec<CheckpointEval>,
     /// Number of preference pairs collected.
     pub dataset_size: usize,
+    /// Certificate-validation counters accumulated over the whole run.
+    /// All zeros unless [`PipelineConfig::certified`] was set.
+    pub cert: CertCounters,
 }
 
 impl RunArtifacts {
@@ -205,6 +217,10 @@ pub struct DpoAf {
     pub bundle: DomainBundle,
     /// Hyperparameters.
     pub config: PipelineConfig,
+    /// Accumulated certificate-validation counters (certified mode).
+    /// Interior mutability because scoring happens behind `&self` in
+    /// sampling and evaluation closures.
+    cert_counters: std::cell::RefCell<CertCounters>,
 }
 
 impl DpoAf {
@@ -213,7 +229,14 @@ impl DpoAf {
         DpoAf {
             bundle: DomainBundle::new(),
             config,
+            cert_counters: std::cell::RefCell::new(CertCounters::default()),
         }
+    }
+
+    /// The certificate-validation counters accumulated so far (all zeros
+    /// unless [`PipelineConfig::certified`] is set).
+    pub fn cert_counters(&self) -> CertCounters {
+        *self.cert_counters.borrow()
     }
 
     /// The language-model configuration implied by the domain.
@@ -258,7 +281,13 @@ impl DpoAf {
     /// number of specifications satisfied, by model checking or by
     /// simulator rollouts.
     pub fn score(&self, task: &TaskSpec, tokens: &[tinylm::Token], rng: &mut impl Rng) -> usize {
-        let scored = score_tokens(&self.bundle, task, tokens);
+        let scored = if self.config.certified {
+            let (scored, counters) = score_tokens_certified(&self.bundle, task, tokens);
+            self.cert_counters.borrow_mut().add(counters);
+            scored
+        } else {
+            score_tokens(&self.bundle, task, tokens)
+        };
         match self.config.feedback {
             FeedbackSource::Formal => scored.num_satisfied,
             FeedbackSource::Empirical { episodes, steps } => match &scored.controller {
@@ -405,6 +434,7 @@ impl DpoAf {
             epoch_stats,
             checkpoint_evals: evals,
             dataset_size,
+            cert: self.cert_counters(),
         }
     }
 }
@@ -418,6 +448,9 @@ mod tests {
         let pipeline = DpoAf::new(PipelineConfig::smoke());
         let artifacts = pipeline.run();
         assert!(artifacts.dataset_size > 0);
+        // Certified mode is opt-in: the default smoke run never touches
+        // the certificate checker.
+        assert_eq!(artifacts.cert, CertCounters::default());
         assert_eq!(artifacts.epoch_stats.len(), 4);
         // Epoch 0 plus epochs 2 and 4.
         assert_eq!(artifacts.checkpoint_evals.len(), 3);
@@ -431,6 +464,30 @@ mod tests {
         assert_eq!(back.dataset_size, artifacts.dataset_size);
         assert_eq!(back.policy.params(), artifacts.policy.params());
         let _ = std::fs::remove_file(path);
+    }
+
+    /// A certified run validates the evidence behind every verdict it
+    /// ranks with: the counters in the artifacts account for each
+    /// synthesized response's full 15-specification sweep.
+    #[test]
+    fn certified_run_counts_every_verdict() {
+        let mut cfg = PipelineConfig::smoke();
+        cfg.certified = true;
+        cfg.responses_per_task = 2;
+        cfg.train.epochs = 2;
+        cfg.train.pairs_per_epoch = Some(4);
+        cfg.checkpoint_every = 100;
+        let pipeline = DpoAf::new(cfg);
+        let artifacts = pipeline.run();
+        assert!(artifacts.cert.checks > 0);
+        // Rejected responses skip verification entirely; every verified
+        // one is checked against the whole 15-rule book.
+        assert_eq!(artifacts.cert.checks % 15, 0, "{:?}", artifacts.cert);
+        assert_eq!(
+            artifacts.cert.holds + artifacts.cert.fails,
+            artifacts.cert.checks
+        );
+        assert_eq!(artifacts.cert, pipeline.cert_counters());
     }
 
     #[test]

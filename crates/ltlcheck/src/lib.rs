@@ -71,8 +71,8 @@ pub mod symbolic;
 pub use ast::{Atom, Ltl};
 pub use buchi::{Buchi, BuchiState, MAX_CLOSURE};
 pub use mc::{
-    check_graph, check_graph_fair, holds_on_lasso, verify, verify_all, verify_all_fair,
-    verify_fair, CexStep, Counterexample, Justice, NonPropositionalError, SpecResult, Verdict,
-    VerificationReport,
+    check_graph, check_graph_fair, check_graph_fair_certified, holds_on_lasso, verify, verify_all,
+    verify_all_fair, verify_fair, CertifiedVerdict, CexStep, Counterexample, HoldsCertificate,
+    Justice, NonPropositionalError, SpecResult, Verdict, VerificationReport,
 };
 pub use parser::{parse, ParseLtlError};

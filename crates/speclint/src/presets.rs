@@ -95,16 +95,10 @@ fn labels_of(model: &WorldModel) -> Vec<PropSet> {
     model.states().map(|s| model.label(s)).collect()
 }
 
-/// The scenario's world model (mirrors `dpo_af::feedback::scenario_model`).
-pub fn scenario_model(d: &DrivingDomain, kind: ScenarioKind) -> WorldModel {
-    match kind {
-        ScenarioKind::TrafficLight => d.traffic_light_model(),
-        ScenarioKind::LeftTurnSignal => d.left_turn_light_model(),
-        ScenarioKind::WideMedian => d.wide_median_model(),
-        ScenarioKind::TwoWayStop => d.two_way_stop_model(),
-        ScenarioKind::Roundabout => d.roundabout_model(),
-    }
-}
+/// The scenario's world model — re-exported from
+/// [`drivesim::formal::scenario_model`], the single source of truth
+/// shared with `dpo-af` and `certkit`.
+pub use drivesim::formal::scenario_model;
 
 /// Lint input for the driving domain: the 15-rule book with per-scenario
 /// vacuity graphs, the four paper demonstration controllers (with their
