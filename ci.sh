@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, tests, the speclint static-analysis
-# pass over the shipped rule books, controllers and step lists, and the
-# certkit certification + explicit-vs-symbolic differential suite.
+# pass over the shipped rule books, controllers and step lists, the
+# certkit certification + explicit-vs-symbolic differential suite, and
+# an instrumented bench smoke run validated against the obskit.bench.v1
+# report schema (metrics_check).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,13 +16,22 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> speclint --deny-warnings"
 cargo run -q -p speclint -- --deny-warnings
 
 echo "==> certkit gate (certification + differential suite)"
 cargo run -q -p certkit --release
+
+echo "==> obskit smoke gate (instrumented bench run + schema check)"
+smoke_report="$(mktemp -t BENCH_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_report"' EXIT
+cargo run -q --release -p bench --bin headline -- \
+    --fast --quiet --metrics-out "$smoke_report" > /dev/null
+cargo run -q --release -p bench --bin metrics_check -- "$smoke_report" \
+    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained \
+    --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval
 
 echo "ci: all gates passed"

@@ -8,7 +8,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use autokit::{PropSet, WorldModelBuilder};
-use bench::table;
+use bench::{table, BenchCli};
 use dpo_af::domain::DomainBundle;
 use dpo_af::experiments::demo::RIGHT_TURN_AFTER;
 use glm2fsa::{synthesize, with_default_action, FsaOptions};
@@ -17,6 +17,7 @@ use ltlcheck::verify_all;
 use std::time::Instant;
 
 fn main() {
+    let cli = BenchCli::parse("ablation_conservative");
     let bundle = DomainBundle::new();
     let d = &bundle.driving;
     let ctrl = synthesize(
@@ -108,4 +109,5 @@ fn main() {
         "note: the conservative model admits strictly more behaviours, so its\n\
          verdicts are a lower bound on the pruned model's — at a much higher cost."
     );
+    cli.finish();
 }

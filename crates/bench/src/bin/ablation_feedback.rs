@@ -13,17 +13,19 @@
 #![allow(clippy::field_reassign_with_default)] // config structs are built by
                                                // mutating a Default, which reads better than giant struct-update literals
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo_af::domain::DomainBundle;
 use dpo_af::feedback::{empirical_rates, score_tokens};
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use obskit::progress;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tinylm::SampleOptions;
 
 fn main() {
+    let cli = BenchCli::parse("ablation_feedback");
     let mut cfg = PipelineConfig::default();
-    let (samples, episodes) = if fast_mode() {
+    let (samples, episodes) = if cli.fast {
         cfg.corpus_size = 300;
         cfg.pretrain.epochs = 3;
         (3, 4)
@@ -32,7 +34,7 @@ fn main() {
     };
     let pipeline = DpoAf::new(cfg);
     let mut rng = StdRng::seed_from_u64(pipeline.config.seed);
-    eprintln!("pretraining the language model …");
+    progress!("pretraining the language model …");
     let lm = pipeline.pretrained_lm(&mut rng);
     let bundle: &DomainBundle = &pipeline.bundle;
 
@@ -118,7 +120,7 @@ fn main() {
     ] {
         let mut cfg = PipelineConfig::default();
         cfg.feedback = feedback;
-        if fast_mode() {
+        if cli.fast {
             cfg.corpus_size = 300;
             cfg.pretrain.epochs = 3;
             cfg.train.epochs = 10;
@@ -130,7 +132,7 @@ fn main() {
         }
         // Evaluation itself always uses the configured source; report the
         // formal score for comparability by evaluating with a formal twin.
-        eprintln!("running the pipeline with {label} feedback …");
+        progress!("running the pipeline with {label} feedback …");
         let run_pipeline = DpoAf::new(cfg);
         let artifacts = run_pipeline.run();
         let mut eval_cfg = PipelineConfig::default();
@@ -156,4 +158,5 @@ fn main() {
             &rows
         )
     );
+    cli.finish();
 }

@@ -10,9 +10,10 @@
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo::{dpo_loss_grad, ipo_loss_grad, PreferenceDataset};
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use obskit::progress;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -60,8 +61,9 @@ fn train(
 }
 
 fn main() {
+    let cli = BenchCli::parse("ablation_ipo");
     let mut cfg = PipelineConfig::default();
-    let epochs = if fast_mode() {
+    let epochs = if cli.fast {
         cfg.corpus_size = 300;
         cfg.pretrain.epochs = 3;
         10
@@ -70,7 +72,7 @@ fn main() {
     };
     let pipeline = DpoAf::new(cfg);
     let mut rng = StdRng::seed_from_u64(pipeline.config.seed);
-    eprintln!("pretraining and collecting a shared dataset …");
+    progress!("pretraining and collecting a shared dataset …");
     let reference = pipeline.pretrained_lm(&mut rng);
     let dataset = pipeline.collect_dataset(&reference, &mut rng);
     println!("shared dataset: {} pairs\n", dataset.len());
@@ -109,4 +111,5 @@ fn main() {
         "note: the losses are not comparable across objectives (different scales);\n\
          accuracy is. IPO's margin saturates near its 1/(2τ) target while DPO's grows."
     );
+    cli.finish();
 }

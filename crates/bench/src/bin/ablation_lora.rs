@@ -8,18 +8,20 @@
 #![allow(clippy::field_reassign_with_default)] // config structs are built by
                                                // mutating a Default, which reads better than giant struct-update literals
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo::DpoTrainer;
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use obskit::progress;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use tinylm::AdaptMode;
 
 fn main() {
+    let cli = BenchCli::parse("ablation_lora");
     let mut cfg = PipelineConfig::default();
     cfg.lora_rank = 0; // pretrain in Full mode; adapters attached per arm
-    if fast_mode() {
+    if cli.fast {
         cfg.corpus_size = 300;
         cfg.pretrain.epochs = 3;
         cfg.train.epochs = 15;
@@ -28,9 +30,9 @@ fn main() {
     }
     let pipeline = DpoAf::new(cfg);
     let mut rng = StdRng::seed_from_u64(pipeline.config.seed);
-    eprintln!("pretraining the base model …");
+    progress!("pretraining the base model …");
     let base = pipeline.pretrained_lm(&mut rng);
-    eprintln!("collecting a shared preference dataset …");
+    progress!("collecting a shared preference dataset …");
     let dataset = pipeline.collect_dataset(&base, &mut rng);
     println!("shared dataset: {} pairs\n", dataset.len());
 
@@ -78,4 +80,5 @@ fn main() {
             &rows
         )
     );
+    cli.finish();
 }

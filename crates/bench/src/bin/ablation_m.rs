@@ -7,22 +7,24 @@
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo_af::feedback::score_tokens;
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use obskit::progress;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tinylm::SampleOptions;
 
 fn main() {
+    let cli = BenchCli::parse("ablation_m");
     let mut cfg = PipelineConfig::default();
-    if fast_mode() {
+    if cli.fast {
         cfg.corpus_size = 300;
         cfg.pretrain.epochs = 3;
     }
     let pipeline = DpoAf::new(cfg);
     let mut rng = StdRng::seed_from_u64(pipeline.config.seed);
-    eprintln!("pretraining the language model …");
+    progress!("pretraining the language model …");
     let lm = pipeline.pretrained_lm(&mut rng);
     let opts = SampleOptions {
         temperature: 1.1,
@@ -79,4 +81,5 @@ fn main() {
             &rows
         )
     );
+    cli.finish();
 }

@@ -12,7 +12,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use autokit::{DeadlockPolicy, Product, PropSet, WorldModelBuilder};
-use bench::table;
+use bench::{table, BenchCli};
 use dpo_af::domain::DomainBundle;
 use dpo_af::experiments::demo::{RIGHT_TURN_AFTER, RIGHT_TURN_BEFORE};
 use dpo_af::feedback::{fsa_options, justice_for, scenario_model};
@@ -24,6 +24,7 @@ use ltlcheck::{check_graph_fair, Justice};
 use std::time::Instant;
 
 fn main() {
+    let cli = BenchCli::parse("backend_compare");
     let bundle = DomainBundle::new();
     let d = &bundle.driving;
     let specs = driving_specs(d);
@@ -129,4 +130,5 @@ fn main() {
          its asymptotic advantage needs state spaces (and encodings) beyond the\n\
          paper's models."
     );
+    cli.finish();
 }

@@ -13,11 +13,12 @@
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use bench::table;
+use bench::{table, BenchCli};
 use ltlcheck::{check_graph_fair, check_graph_fair_certified};
 use std::time::Instant;
 
 fn main() {
+    let cli = BenchCli::parse("certified_overhead");
     let cases = certkit::presets::preset_cases();
     let checks: usize = cases.iter().map(|c| c.specs.len()).sum();
     println!(
@@ -96,4 +97,9 @@ fn main() {
             &rows,
         )
     );
+    obskit::gauge_set(
+        "certified_overhead.validated_x_plain",
+        validated.as_secs_f64() / plain.as_secs_f64(),
+    );
+    cli.finish();
 }

@@ -2,7 +2,7 @@
 //! after fine-tuning, verified against the 15 specifications, with the
 //! paper's highlighted counterexamples and NuSMV exports.
 
-use bench::table;
+use bench::{table, BenchCli};
 use dpo_af::domain::DomainBundle;
 use dpo_af::experiments::demo;
 
@@ -42,6 +42,7 @@ fn report(bundle: &DomainBundle, cmp: &demo::DemoComparison, highlight: &str) {
 }
 
 fn main() {
+    let cli = BenchCli::parse("demo");
     let bundle = DomainBundle::new();
 
     let right = demo::right_turn(&bundle);
@@ -52,4 +53,5 @@ fn main() {
 
     println!("--- NuSMV export (Appendix D analogue), right-turn modules ---\n");
     println!("{}", right.smv_module);
+    cli.finish();
 }

@@ -1,27 +1,24 @@
 //! Figure 11: empirical satisfaction rates `P_Φ` of Φ₁…Φ₅ during actual
 //! operation in the driving simulator, before vs after fine-tuning.
 
-use bench::{fast_mode, table};
+use bench::{pipeline_config, table, BenchCli};
 use dpo_af::experiments::fig11::{self, Fig11Config};
-use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use dpo_af::pipeline::DpoAf;
+use obskit::progress;
 
 fn main() {
-    let mut cfg = PipelineConfig::default();
+    let cli = BenchCli::parse("fig11");
+    let cfg = pipeline_config(cli.fast);
     let mut fig_cfg = Fig11Config::default();
-    if fast_mode() {
-        cfg.train.epochs = 10;
-        cfg.iterations = 2;
-        cfg.corpus_size = 300;
-        cfg.pretrain.epochs = 3;
-        cfg.eval_samples = 2;
+    if cli.fast {
         fig_cfg.samples_per_task = 1;
         fig_cfg.episodes = 3;
     }
     let pipeline = DpoAf::new(cfg);
-    eprintln!("running the DPO-AF pipeline to obtain before/after models …");
+    progress!("running the DPO-AF pipeline to obtain before/after models …");
     let artifacts = pipeline.run();
 
-    eprintln!("rolling out controllers in the simulator …");
+    progress!("rolling out controllers in the simulator …");
     let result = fig11::run(
         &pipeline.bundle,
         &artifacts.reference,
@@ -55,4 +52,6 @@ fn main() {
         "{improved}/{} specifications improved or held steady after fine-tuning",
         result.rows.len()
     );
+    obskit::counter_add("fig11.specs_improved", improved as u64);
+    cli.finish();
 }

@@ -1,12 +1,13 @@
 //! Figure 12: detector confidence→accuracy mappings, simulation vs real
 //! world, per object class — the sim-to-real consistency study.
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo_af::experiments::fig12::{self, Fig12Config};
 
 fn main() {
+    let cli = BenchCli::parse("fig12");
     let mut cfg = Fig12Config::default();
-    if fast_mode() {
+    if cli.fast {
         cfg.frames = 300;
     }
     let result = fig12::run(cfg);
@@ -47,4 +48,6 @@ fn main() {
         "\nconsistent-detector mean gap {mean:.4} → the perception stack behaves \
          approximately identically in sim and real, supporting controller transfer (§5.3)."
     );
+    obskit::gauge_set("fig12.mean_gap", f64::from(mean));
+    cli.finish();
 }

@@ -2,11 +2,12 @@
 //! conditions, sim vs real — the quantitative counterpart of the paper's
 //! qualitative image grid.
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo_af::experiments::fig13;
 
 fn main() {
-    let frames = if fast_mode() { 200 } else { 1000 };
+    let cli = BenchCli::parse("fig13");
+    let frames = if cli.fast { 200 } else { 1000 };
     let result = fig13::run(frames, 17);
     let rows: Vec<Vec<String>> = result
         .rows
@@ -38,4 +39,5 @@ fn main() {
         "conditions degrade both domains together; the residual sim−real gap stays small,\n\
          consistent with the paper's qualitative comparison."
     );
+    cli.finish();
 }

@@ -5,13 +5,15 @@
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use bench::{fast_mode, table};
+use bench::{table, BenchCli};
 use dpo_af::experiments::fig8;
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use obskit::progress;
 
 fn main() {
+    let cli = BenchCli::parse("fig8");
     let mut cfg = PipelineConfig::default();
-    if fast_mode() {
+    if cli.fast {
         cfg.train.epochs = 20;
         cfg.corpus_size = 300;
         cfg.pretrain.epochs = 3;
@@ -21,7 +23,7 @@ fn main() {
     }
     let pipeline = DpoAf::new(cfg);
     let seeds: &[u64] = &[11, 22, 33, 44, 55];
-    eprintln!(
+    progress!(
         "running DPO over {} seeds × {} epochs …",
         seeds.len(),
         pipeline.config.train.epochs
@@ -63,4 +65,7 @@ fn main() {
         "final: loss {:.4}, accuracy {:.3}, margin {:.3}",
         last.loss.0, last.accuracy.0, last.margin.0
     );
+    obskit::gauge_set("fig8.final_loss", f64::from(last.loss.0));
+    obskit::gauge_set("fig8.final_accuracy", f64::from(last.accuracy.0));
+    cli.finish();
 }

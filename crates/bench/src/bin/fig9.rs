@@ -1,24 +1,22 @@
 //! Figure 9: number of specifications satisfied (of 15) vs DPO training
 //! epoch, for training and validation tasks.
 
-use bench::{fast_mode, table};
+use bench::{pipeline_config, table, BenchCli};
 use dpo_af::experiments::fig9;
-use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use dpo_af::pipeline::DpoAf;
+use obskit::progress;
 
 fn main() {
-    let mut cfg = PipelineConfig::default();
-    if fast_mode() {
-        cfg.train.epochs = 10;
-        cfg.iterations = 2;
+    let cli = BenchCli::parse("fig9");
+    let mut cfg = pipeline_config(cli.fast);
+    if cli.fast {
         cfg.checkpoint_every = 5;
-        cfg.corpus_size = 300;
-        cfg.pretrain.epochs = 3;
-        cfg.eval_samples = 2;
     }
     let pipeline = DpoAf::new(cfg);
-    eprintln!(
+    progress!(
         "running the full DPO-AF pipeline ({} iterations × {} epochs) …",
-        pipeline.config.iterations, pipeline.config.train.epochs
+        pipeline.config.iterations,
+        pipeline.config.train.epochs
     );
     let result = fig9::run(&pipeline);
 
@@ -49,4 +47,5 @@ fn main() {
         "preference pairs collected across iterations: {}",
         result.artifacts.dataset_size
     );
+    cli.finish();
 }

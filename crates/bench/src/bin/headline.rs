@@ -3,32 +3,25 @@
 //! (abstract: "from 60% to above 90%"), averaged over independent
 //! pipeline seeds.
 
-#![allow(clippy::field_reassign_with_default)] // config structs are built by
-                                               // mutating a Default, which reads better than giant struct-update literals
-
-use bench::fast_mode;
+use bench::{pipeline_config, BenchCli};
 use dpo_af::experiments::headline;
-use dpo_af::pipeline::{DpoAf, PipelineConfig};
+use dpo_af::pipeline::DpoAf;
+use obskit::progress;
 
 fn main() {
-    let seeds: &[u64] = if fast_mode() { &[7] } else { &[7, 17, 27] };
+    let cli = BenchCli::parse("headline");
+    let seeds: &[u64] = if cli.fast { &[7] } else { &[7, 17, 27] };
     let mut befores = Vec::new();
     let mut afters = Vec::new();
     let mut pairs = 0;
     for &seed in seeds {
-        let mut cfg = PipelineConfig::default();
+        let mut cfg = pipeline_config(cli.fast);
         cfg.seed = seed;
-        if fast_mode() {
-            cfg.train.epochs = 10;
-            cfg.iterations = 2;
-            cfg.corpus_size = 300;
-            cfg.pretrain.epochs = 3;
-            cfg.eval_samples = 2;
-        } else {
+        if !cli.fast {
             cfg.eval_samples = 8;
         }
         let pipeline = DpoAf::new(cfg);
-        eprintln!("running the full DPO-AF pipeline (seed {seed}) …");
+        progress!("running the full DPO-AF pipeline (seed {seed}) …");
         let artifacts = pipeline.run();
         let result = headline::from_artifacts(&artifacts);
         println!(
@@ -58,4 +51,7 @@ fn main() {
         mean(&afters)
     );
     println!("preference pairs used in total: {pairs}");
+    obskit::gauge_set("headline.before_pct", mean(&befores));
+    obskit::gauge_set("headline.after_pct", mean(&afters));
+    cli.finish();
 }

@@ -6,10 +6,12 @@
 //! For machine-readable output or CI gating use the `speclint` binary
 //! (`cargo run -p speclint -- --format json` / `--deny-warnings`).
 
+use bench::BenchCli;
 use speclint::presets::{driving_input, warehouse_input};
 use speclint::Tally;
 
 fn main() {
+    let cli = BenchCli::parse("spec_lint");
     let mut diags = speclint::run(&driving_input());
     diags.extend(speclint::run(&warehouse_input()));
 
@@ -26,5 +28,7 @@ fn main() {
          at a traffic light (vacuous pass) — they simply do not constrain\n\
          that scenario."
     );
+    obskit::counter_add("speclint.diagnostics", diags.len() as u64);
+    cli.finish();
     assert_eq!(tally.errors, 0, "shipped rule books must lint clean");
 }

@@ -28,6 +28,109 @@
 //! Every binary accepts `--fast` to run a reduced configuration.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Shared command-line handling for every experiment binary.
+///
+/// All binaries accept the same observability flags on top of their own:
+///
+/// | Flag                 | Effect |
+/// |----------------------|--------|
+/// | `--fast`             | reduced configuration (seconds instead of minutes) |
+/// | `--metrics-out <p>`  | write a `BENCH_<name>.json` report ([`obskit::report`] schema) |
+/// | `--trace-out <p>`    | write a Chrome trace (open in `chrome://tracing` / Perfetto) |
+/// | `--no-obs`           | keep the no-op recorder (overhead baseline; also silences progress) |
+/// | `--quiet`            | drop the stderr progress sink, keep recording |
+///
+/// [`BenchCli::parse`] enables the global `obskit` recorder (unless
+/// `--no-obs`), and [`BenchCli::finish`] snapshots it and writes the
+/// requested artifacts.
+#[derive(Debug)]
+pub struct BenchCli {
+    /// Bench name, stamped into the report (`headline`, `fig9`, …).
+    pub bench: String,
+    /// `--fast` was passed.
+    pub fast: bool,
+    /// Where to write the `BENCH_<name>.json` report, if anywhere.
+    pub metrics_out: Option<PathBuf>,
+    /// Where to write the Chrome trace, if anywhere.
+    pub trace_out: Option<PathBuf>,
+    /// `--no-obs` was passed: leave the no-op recorder selected.
+    pub no_obs: bool,
+    /// The raw argument list (recorded in the report for provenance).
+    pub args: Vec<String>,
+    started: Instant,
+}
+
+impl BenchCli {
+    /// Parses `std::env::args`, then turns the recorder on (unless
+    /// `--no-obs`). Unknown flags are kept for the binary's own parsing.
+    pub fn parse(bench: &str) -> BenchCli {
+        Self::from_args(bench, std::env::args().skip(1).collect())
+    }
+
+    /// [`BenchCli::parse`] over an explicit argument list (for tests).
+    pub fn from_args(bench: &str, args: Vec<String>) -> BenchCli {
+        let mut cli = BenchCli {
+            bench: bench.to_owned(),
+            fast: false,
+            metrics_out: None,
+            trace_out: None,
+            no_obs: false,
+            args: args.clone(),
+            started: Instant::now(),
+        };
+        let mut quiet = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--fast" => cli.fast = true,
+                "--no-obs" => cli.no_obs = true,
+                "--quiet" => quiet = true,
+                "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
+                "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        if !cli.no_obs {
+            obskit::enable();
+            obskit::set_console(!quiet);
+        }
+        cli
+    }
+
+    /// Snapshots the recorder and writes the artifacts requested on the
+    /// command line. Returns the snapshot so binaries can print from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a requested output file cannot be written — a bench
+    /// run that silently drops its report would poison the perf record.
+    #[allow(clippy::expect_used)]
+    pub fn finish(&self) -> obskit::Snapshot {
+        let mut snapshot = obskit::snapshot();
+        // The recorder anchor predates parse() by process-startup time;
+        // the bench's own clock is the honest wall figure.
+        snapshot.wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        if let Some(path) = &self.metrics_out {
+            let report = obskit::BenchReport::from_snapshot(&self.bench, &self.args, &snapshot);
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+            eprintln!("metrics report written to {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            let trace = obskit::chrome::chrome_trace(&snapshot.span_records, &snapshot.events);
+            std::fs::write(path, trace)
+                .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+            eprintln!(
+                "chrome trace written to {} (open in chrome://tracing)",
+                path.display()
+            );
+        }
+        snapshot
+    }
+}
 
 /// Formats a two-column table of `(label, value)` rows.
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -67,14 +170,67 @@ pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// `true` if `--fast` was passed on the command line.
-pub fn fast_mode() -> bool {
-    std::env::args().any(|a| a == "--fast")
+/// The standard `--fast` reduction of the pipeline configuration: the
+/// same run shape at a fraction of the epochs/corpus, shared by every
+/// binary that drives the full DPO-AF pipeline so "fast mode" means the
+/// same thing everywhere.
+pub fn pipeline_config(fast: bool) -> dpo_af::pipeline::PipelineConfig {
+    let mut cfg = dpo_af::pipeline::PipelineConfig::default();
+    if fast {
+        cfg.train.epochs = 10;
+        cfg.iterations = 2;
+        cfg.corpus_size = 300;
+        cfg.pretrain.epochs = 3;
+        cfg.eval_samples = 2;
+    }
+    cfg
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// All flag parsing, with `--no-obs` so the test does not touch the
+    /// process-global recorder (parallel tests must not toggle it).
+    #[test]
+    fn cli_parses_observability_flags() {
+        let cli = BenchCli::from_args(
+            "headline",
+            [
+                "--fast",
+                "--no-obs",
+                "--metrics-out",
+                "out/BENCH_headline.json",
+                "--trace-out",
+                "/tmp/headline.trace.json",
+                "--seeds=3", // unknown flags are left for the binary
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+        );
+        assert_eq!(cli.bench, "headline");
+        assert!(cli.fast);
+        assert!(cli.no_obs);
+        assert_eq!(
+            cli.metrics_out.as_deref(),
+            Some(std::path::Path::new("out/BENCH_headline.json"))
+        );
+        assert_eq!(
+            cli.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/headline.trace.json"))
+        );
+        assert_eq!(cli.args.len(), 7);
+    }
+
+    #[test]
+    fn fast_config_shrinks_the_schedule() {
+        let full = pipeline_config(false);
+        let fast = pipeline_config(true);
+        assert_eq!(full, dpo_af::pipeline::PipelineConfig::default());
+        assert!(fast.train.epochs < full.train.epochs);
+        assert!(fast.corpus_size < full.corpus_size);
+        assert!(fast.iterations < full.iterations);
+    }
 
     #[test]
     fn table_aligns_columns() {

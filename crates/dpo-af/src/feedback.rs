@@ -212,17 +212,25 @@ fn score_response_impl(
         num_satisfied: 0,
     };
     if preflight_response(bundle, task, text).is_err() {
+        obskit::counter_add("pipeline.responses_rejected", 1);
         return rejected;
     }
     let steps = DomainBundle::split_steps(text);
-    let ctrl = match synthesize(
-        &task.prompt,
-        &steps,
-        &bundle.lexicon,
-        fsa_options(&bundle.driving),
-    ) {
+    let parsed = {
+        let _stage = obskit::span("pipeline.parse");
+        synthesize(
+            &task.prompt,
+            &steps,
+            &bundle.lexicon,
+            fsa_options(&bundle.driving),
+        )
+    };
+    let ctrl = match parsed {
         Ok(c) => c,
-        Err(_) => return rejected,
+        Err(_) => {
+            obskit::counter_add("pipeline.responses_rejected", 1);
+            return rejected;
+        }
     };
     // The paper's SMV encodings give the vehicle an action at every step:
     // an observing controller is a stopped controller.
@@ -231,13 +239,16 @@ fn score_response_impl(
     let justice = justice_for(&bundle.driving, task.scenario);
     let specs = driving_specs(&bundle.driving);
     let named = specs.iter().map(|s| (s.name.as_str(), &s.formula));
-    let report = match counters {
-        Some(counters) => {
-            let (report, c) = verify_all_fair_certified(&model, &ctrl, named, &justice);
-            counters.add(c);
-            report
+    let report = {
+        let _stage = obskit::span("pipeline.verify");
+        match counters {
+            Some(counters) => {
+                let (report, c) = verify_all_fair_certified(&model, &ctrl, named, &justice);
+                counters.add(c);
+                report
+            }
+            None => verify_all_fair(&model, &ctrl, named, &justice),
         }
-        None => verify_all_fair(&model, &ctrl, named, &justice),
     };
     ScoredResponse {
         text: text.to_owned(),

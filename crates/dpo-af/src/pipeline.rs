@@ -255,6 +255,7 @@ impl DpoAf {
     /// the configured adapters — the "pre-trained language model" DPO-AF
     /// starts from.
     pub fn pretrained_lm(&self, rng: &mut impl Rng) -> CondLm {
+        let _stage = obskit::span("pipeline.pretrain");
         let mut lm = CondLm::new(self.lm_config(), rng);
         let corpus = self.bundle.pretraining_corpus(self.config.corpus_size, rng);
         pretrain(&mut lm, &corpus, self.config.pretrain, rng);
@@ -281,8 +282,10 @@ impl DpoAf {
     /// number of specifications satisfied, by model checking or by
     /// simulator rollouts.
     pub fn score(&self, task: &TaskSpec, tokens: &[tinylm::Token], rng: &mut impl Rng) -> usize {
+        obskit::counter_add("pipeline.responses_scored", 1);
         let scored = if self.config.certified {
             let (scored, counters) = score_tokens_certified(&self.bundle, task, tokens);
+            obskit::counter_add("pipeline.certificates_validated", counters.checks as u64);
             self.cert_counters.borrow_mut().add(counters);
             scored
         } else {
@@ -307,6 +310,7 @@ impl DpoAf {
     // out-of-range id; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
     pub fn collect_dataset(&self, lm: &CondLm, rng: &mut impl Rng) -> PreferenceDataset {
+        let _stage = obskit::span("pipeline.collect");
         let opts = SampleOptions {
             temperature: self.config.temperature,
             max_len: 60,
@@ -318,12 +322,20 @@ impl DpoAf {
                 let task = &self.bundle.tasks[tid];
                 let scored: Vec<(Vec<tinylm::Token>, usize)> = (0..self.config.responses_per_task)
                     .map(|_| {
-                        let tokens = lm.sample(tid, rng, opts).expect("task id in range");
+                        let tokens = {
+                            let _s = obskit::span("pipeline.sample");
+                            lm.sample(tid, rng, opts).expect("task id in range")
+                        };
                         let score = self.score(task, &tokens, rng);
                         (tokens, score)
                     })
                     .collect();
-                dataset.add_scored(tid, &scored);
+                let before = dataset.len();
+                {
+                    let _s = obskit::span("pipeline.rank");
+                    dataset.add_scored(tid, &scored);
+                }
+                obskit::counter_add("pipeline.pairs_formed", (dataset.len() - before) as u64);
             }
         }
         dataset
@@ -335,6 +347,7 @@ impl DpoAf {
     // out-of-range id; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
     pub fn evaluate(&self, lm: &CondLm, tasks: &[usize], rng: &mut impl Rng) -> f64 {
+        let _stage = obskit::span("pipeline.eval");
         let opts = SampleOptions {
             temperature: self.config.eval_temperature,
             max_len: 60,
@@ -375,6 +388,7 @@ impl DpoAf {
             panic!("driving rule book failed the speclint pre-flight gate: {errors:?}");
         }
 
+        let _run = obskit::span("pipeline.run");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pretrained = self.pretrained_lm(&mut rng);
 
@@ -396,16 +410,29 @@ impl DpoAf {
         let mut epoch_stats = Vec::new();
         let mut dataset_size = 0;
         let mut epoch_base = 0;
-        for _ in 0..self.config.iterations.max(1) {
+        for iteration in 0..self.config.iterations.max(1) {
             let dataset = self.collect_dataset(&policy, &mut rng);
             assert!(
                 !dataset.is_empty(),
                 "verification feedback produced no strict preferences"
             );
             dataset_size += dataset.len();
+            obskit::event(
+                "pipeline.iteration",
+                vec![
+                    ("iteration", iteration.into()),
+                    ("pairs", dataset.len().into()),
+                    ("total_pairs", dataset_size.into()),
+                ],
+            );
+            obskit::progress!(
+                "iteration {iteration}: {} preference pairs collected ({dataset_size} total)",
+                dataset.len()
+            );
             let reference = policy.clone();
             let base = epoch_base;
             let stats = {
+                let _stage = obskit::span("pipeline.train");
                 let evals = &mut evals;
                 let eval_rng = &mut eval_rng;
                 trainer

@@ -1,0 +1,74 @@
+//! End-to-end observability: an enabled smoke run of the pipeline emits
+//! the documented stage spans and counters (DESIGN.md §7).
+//!
+//! One test function only — the obskit recorder is process-global, and
+//! this integration binary must not toggle it from parallel tests.
+
+use dpo_af::pipeline::{DpoAf, PipelineConfig};
+
+#[test]
+fn smoke_run_emits_stage_spans_and_counters() {
+    obskit::enable();
+    obskit::set_console(false);
+    let pipeline = DpoAf::new(PipelineConfig::smoke());
+    let artifacts = pipeline.run();
+    let snap = obskit::snapshot();
+    obskit::disable();
+
+    // Every pipeline stage shows up in the aggregated span forest, with
+    // the per-response stages nested under the run root.
+    let run = snap
+        .spans
+        .iter()
+        .find(|n| n.name == "pipeline.run")
+        .expect("pipeline.run span recorded");
+    for stage in [
+        "pipeline.pretrain",
+        "pipeline.collect",
+        "pipeline.sample",
+        "pipeline.parse",
+        "pipeline.verify",
+        "pipeline.rank",
+        "pipeline.train",
+        "pipeline.eval",
+    ] {
+        let node = run
+            .find(stage)
+            .unwrap_or_else(|| panic!("stage span `{stage}` missing under pipeline.run"));
+        assert!(node.count > 0, "{stage} count");
+    }
+    // Stage durations nest: children never exceed their parent.
+    let collect = run.find("pipeline.collect").expect("collect");
+    let sample = collect.find("pipeline.sample").expect("sample");
+    assert!(sample.total_us <= collect.total_us);
+
+    // Counters line up with the artifacts.
+    let counter = |name: &str| {
+        snap.metrics
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        counter("pipeline.pairs_formed"),
+        artifacts.dataset_size as u64
+    );
+    assert!(counter("pipeline.responses_scored") > 0);
+    assert!(counter("ltlcheck.checks") > 0);
+    assert!(counter("ltlcheck.product_states") > 0);
+    assert!(counter("ltlcheck.search_visits") >= counter("ltlcheck.product_states"));
+    assert!(counter("pretrain.tokens") > 0);
+    assert!(counter("dpo.pairs_trained") > 0);
+
+    // Per-epoch training events were recorded.
+    assert!(
+        snap.events.iter().any(|e| e.name == "dpo.epoch"),
+        "dpo.epoch events missing"
+    );
+    assert!(
+        snap.events.iter().any(|e| e.name == "pipeline.iteration"),
+        "pipeline.iteration event missing"
+    );
+}

@@ -116,12 +116,23 @@ impl DpoTrainer {
                 adam.step(policy.params_mut(), &grad.0);
             }
             let n = epoch_pairs.len() as f32;
-            stats.push(EpochStats {
+            let epoch_stats = EpochStats {
                 epoch,
                 loss: sum.loss / n,
                 accuracy: sum.correct / n,
                 margin: sum.margin / n,
-            });
+            };
+            obskit::counter_add("dpo.pairs_trained", epoch_pairs.len() as u64);
+            obskit::event(
+                "dpo.epoch",
+                vec![
+                    ("epoch", epoch.into()),
+                    ("loss", epoch_stats.loss.into()),
+                    ("accuracy", epoch_stats.accuracy.into()),
+                    ("margin", epoch_stats.margin.into()),
+                ],
+            );
+            stats.push(epoch_stats);
             checkpoint(epoch, policy);
         }
         Ok(stats)

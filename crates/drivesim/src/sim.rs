@@ -54,6 +54,7 @@ pub fn ground_with_policy(
 ) -> Trace {
     let mut trace = Trace::new();
     let mut q = ctrl.initial();
+    let mut epsilon_ticks = 0u64;
     for _ in 0..steps {
         let sigma = scenario.observe(domain);
         let enabled: Vec<_> = ctrl.enabled(q, sigma).collect();
@@ -67,9 +68,18 @@ pub fn ground_with_policy(
                 None => (ActSet::empty(), q),
             },
         };
+        if enabled.is_empty() {
+            epsilon_ticks += 1;
+        }
         trace.push(Step::new(sigma, action));
         q = next;
         scenario.advance(rng);
+    }
+    if obskit::enabled() {
+        obskit::counter_add("drivesim.episodes", 1);
+        obskit::counter_add("drivesim.ticks", steps as u64);
+        obskit::counter_add("drivesim.epsilon_ticks", epsilon_ticks);
+        obskit::observe("drivesim.episode_ticks", steps as u64);
     }
     trace
 }
@@ -85,6 +95,7 @@ pub fn ground_many(
     steps: usize,
     runs: usize,
 ) -> Vec<Trace> {
+    let _rollout = obskit::span("drivesim.rollout");
     (0..runs)
         .map(|_| {
             scenario.reset();

@@ -342,10 +342,22 @@ pub fn check_graph(graph: &LabelGraph, phi: &Ltl) -> Verdict {
 pub fn check_graph_fair(graph: &LabelGraph, phi: &Ltl, justice: &[Justice]) -> Verdict {
     let neg = Ltl::not(phi.clone());
     let buchi = Buchi::from_ltl(&neg);
+    count_check(&buchi);
     match find_fair_lasso(graph, &buchi, justice) {
         None => Verdict::Holds,
         Some(cex) => Verdict::Fails(cex),
     }
+}
+
+/// Per-check observability counters (no-ops unless `obskit` is enabled).
+fn count_check(buchi: &Buchi) {
+    if !obskit::enabled() {
+        return;
+    }
+    obskit::counter_add("ltlcheck.checks", 1);
+    obskit::counter_add("ltlcheck.buchi_states", buchi.num_states() as u64);
+    let transitions: usize = buchi.states().iter().map(|s| s.succs.len()).sum();
+    obskit::counter_add("ltlcheck.buchi_transitions", transitions as u64);
 }
 
 /// [`check_graph_fair`], but every verdict comes with machine-checkable
@@ -362,6 +374,7 @@ pub fn check_graph_fair_certified(
 ) -> CertifiedVerdict {
     let neg = Ltl::not(phi.clone());
     let buchi = Buchi::from_ltl(&neg);
+    count_check(&buchi);
     if buchi.num_states() == 0 {
         return CertifiedVerdict::Holds(HoldsCertificate {
             buchi,
@@ -580,6 +593,12 @@ fn explore(graph: &LabelGraph, buchi: &Buchi) -> Exploration {
         }
     }
 
+    if obskit::enabled() {
+        obskit::counter_add("ltlcheck.product_states", states.len() as u64);
+        obskit::counter_add("ltlcheck.search_visits", u64::from(next_disc));
+        obskit::counter_add("ltlcheck.sccs", u64::from(next_comp));
+    }
+
     Exploration {
         states,
         parents,
@@ -765,6 +784,7 @@ fn extract_lasso(
         .map(|&v| to_step(v))
         .collect();
     let cycle: Vec<CexStep> = full_cycle.into_iter().map(to_step).collect();
+    obskit::observe("ltlcheck.lasso_len", (stem.len() + cycle.len()) as u64);
     Counterexample { stem, cycle }
 }
 

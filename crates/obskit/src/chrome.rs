@@ -1,0 +1,115 @@
+//! Chrome `trace_event` export.
+//!
+//! Renders a snapshot's spans and events in the Trace Event Format
+//! accepted by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! each span becomes a complete (`"ph": "X"`) event with microsecond
+//! timestamps, each structured event an instant (`"ph": "i"`) with its
+//! fields attached under `args`.
+
+use crate::event::Event;
+use crate::json::Value;
+use crate::span::SpanRecord;
+
+/// Renders spans and events as a Trace Event Format JSON document.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[Event]) -> String {
+    let mut trace_events: Vec<Value> = Vec::with_capacity(spans.len() + events.len());
+    for span in spans {
+        trace_events.push(Value::Obj(vec![
+            ("name".into(), Value::Str(span.name.clone())),
+            ("cat".into(), Value::Str("span".into())),
+            ("ph".into(), Value::Str("X".into())),
+            ("ts".into(), Value::Num(span.start_us as f64)),
+            ("dur".into(), Value::Num(span.dur_us as f64)),
+            ("pid".into(), Value::Num(1.0)),
+            ("tid".into(), Value::Num(span.thread as f64)),
+        ]));
+    }
+    for event in events {
+        let args: Vec<(String, Value)> = event
+            .fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
+        trace_events.push(Value::Obj(vec![
+            ("name".into(), Value::Str(event.name.clone())),
+            ("cat".into(), Value::Str("event".into())),
+            ("ph".into(), Value::Str("i".into())),
+            // Thread-scoped instant marker.
+            ("s".into(), Value::Str("t".into())),
+            ("ts".into(), Value::Num(event.t_us as f64)),
+            ("pid".into(), Value::Num(1.0)),
+            ("tid".into(), Value::Num(event.thread as f64)),
+            ("args".into(), Value::Obj(args)),
+        ]));
+    }
+    Value::Obj(vec![
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ("traceEvents".into(), Value::Arr(trace_events)),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+    use crate::json;
+
+    #[test]
+    fn trace_is_valid_json_with_one_entry_per_span_and_event() {
+        let spans = vec![
+            SpanRecord {
+                name: "pipeline.verify".into(),
+                start_us: 100,
+                dur_us: 50,
+                parent: None,
+                thread: 3,
+                depth: 0,
+            },
+            SpanRecord {
+                name: "pipeline.parse".into(),
+                start_us: 160,
+                dur_us: 5,
+                parent: None,
+                thread: 3,
+                depth: 0,
+            },
+        ];
+        let events = vec![Event {
+            name: "progress".into(),
+            t_us: 170,
+            thread: 3,
+            fields: vec![("msg".into(), FieldValue::Str("hi \"there\"".into()))],
+        }];
+        let rendered = chrome_trace(&spans, &events);
+        let doc = json::parse(&rendered).expect("chrome trace parses");
+        let entries = doc
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries[0].get("ph").and_then(json::Value::as_str),
+            Some("X")
+        );
+        assert_eq!(
+            entries[0].get("ts").and_then(json::Value::as_num),
+            Some(100.0)
+        );
+        assert_eq!(
+            entries[0].get("dur").and_then(json::Value::as_num),
+            Some(50.0)
+        );
+        assert_eq!(
+            entries[2].get("ph").and_then(json::Value::as_str),
+            Some("i")
+        );
+        assert_eq!(
+            entries[2]
+                .get("args")
+                .and_then(|a| a.get("msg"))
+                .and_then(json::Value::as_str),
+            Some("hi \"there\"")
+        );
+    }
+}

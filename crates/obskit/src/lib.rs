@@ -1,0 +1,268 @@
+//! # obskit — zero-dependency tracing + metrics for the DPO-AF pipeline
+//!
+//! A from-scratch observability layer shared by every crate in the
+//! workspace: hierarchical wall-clock **spans**, a thread-safe **metrics
+//! registry** (counters, gauges, log-scale histograms), structured
+//! **events** with a human-readable console sink, a **Chrome-trace**
+//! exporter (open in `chrome://tracing` or Perfetto), and the stable
+//! [`report`] schema behind every `BENCH_<name>.json` artifact.
+//!
+//! ## The recorder is runtime-selected and off by default
+//!
+//! Libraries instrument unconditionally; whether anything is recorded is
+//! decided by the process-global recorder flag. While disabled (the
+//! default, and the state during `cargo test`), every instrumentation
+//! call is a single relaxed atomic load — the no-op recorder. Binaries
+//! opt in:
+//!
+//! ```
+//! obskit::enable();
+//! {
+//!     let _stage = obskit::span("pipeline.verify");
+//!     obskit::counter_add("ltlcheck.product_states", 42);
+//!     obskit::progress!("checked {} states", 42);
+//! }
+//! let snapshot = obskit::snapshot();
+//! assert_eq!(snapshot.metrics.counters[0].1, 42);
+//! assert_eq!(snapshot.spans[0].name, "pipeline.verify");
+//! obskit::disable();
+//! ```
+//!
+//! Span taxonomy and metric naming conventions are documented in
+//! DESIGN.md §7.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use event::{Event, EventLog, FieldValue};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use report::{BenchReport, Requirements};
+pub use span::{SpanNode, SpanRecord, SpanStore};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Whether the global recorder is on. Relaxed is enough: a lost race
+/// around enable/disable only drops or keeps a stray measurement.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether `progress!` lines also reach stderr (the human sink).
+static CONSOLE: AtomicBool = AtomicBool::new(true);
+
+/// Microsecond timestamp (since process anchor) of the last `enable()`.
+static ENABLED_AT_US: AtomicU64 = AtomicU64::new(0);
+
+struct Global {
+    registry: Registry,
+    spans: SpanStore,
+    events: EventLog,
+}
+
+static GLOBAL: OnceLock<Global> = OnceLock::new();
+
+fn global() -> &'static Global {
+    GLOBAL.get_or_init(|| Global {
+        registry: Registry::new(),
+        spans: SpanStore::default(),
+        events: EventLog::default(),
+    })
+}
+
+/// Monotonic process time anchor for all timestamps.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process anchor.
+fn now_us() -> u64 {
+    anchor().elapsed().as_micros() as u64
+}
+
+/// Dense per-thread id (0, 1, 2, …) for trace attribution.
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread (for parent links).
+    static SPAN_STACK: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns the global recorder on, clearing all previously recorded data.
+///
+/// Must not be called while spans are open (ids would dangle into the
+/// cleared store); binaries call it once at startup.
+pub fn enable() {
+    let g = global();
+    g.registry.clear();
+    g.spans.clear();
+    g.events.clear();
+    ENABLED_AT_US.store(now_us(), Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Selects the no-op recorder again. Recorded data stays readable via
+/// [`snapshot`] until the next [`enable`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// `true` while the global recorder is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Routes `progress!` lines to stderr (`true`, default) or drops the
+/// human-readable copy (`false`); the structured event is kept either way.
+pub fn set_console(on: bool) {
+    CONSOLE.store(on, Ordering::Relaxed);
+}
+
+/// Adds `v` to the global counter `name` (no-op while disabled).
+pub fn counter_add(name: &str, v: u64) {
+    if enabled() {
+        global().registry.counter_add(name, v);
+    }
+}
+
+/// Sets the global gauge `name` (no-op while disabled).
+pub fn gauge_set(name: &str, v: f64) {
+    if enabled() {
+        global().registry.gauge_set(name, v);
+    }
+}
+
+/// Records `v` into the global histogram `name` (no-op while disabled).
+pub fn observe(name: &str, v: u64) {
+    if enabled() {
+        global().registry.observe(name, v);
+    }
+}
+
+/// An RAII guard for one span; the span closes when the guard drops.
+#[must_use = "a span measures the scope of its guard; drop closes it"]
+#[derive(Debug)]
+pub struct Span {
+    id: Option<u32>,
+}
+
+impl Span {
+    /// A guard that records nothing (what [`span`] returns while the
+    /// recorder is disabled).
+    pub fn noop() -> Span {
+        Span { id: None }
+    }
+}
+
+/// Opens a span named `name` on the current thread. While the recorder
+/// is disabled this is one atomic load and no allocation.
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span::noop();
+    }
+    let (parent, depth) = SPAN_STACK.with(|s| {
+        let s = s.borrow();
+        (s.last().copied(), s.len() as u16)
+    });
+    let id = global()
+        .spans
+        .open(name, now_us(), parent, thread_id(), depth);
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span { id: Some(id) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            global().spans.close(id, now_us());
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if let Some(pos) = s.iter().rposition(|&open| open == id) {
+                    s.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Records a structured event (no-op while disabled).
+pub fn event(name: &str, fields: Vec<(&str, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    global().events.push(Event {
+        name: name.to_owned(),
+        t_us: now_us(),
+        thread: thread_id(),
+        fields: fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+    });
+}
+
+/// Implementation of [`progress!`]; prefer the macro.
+pub fn progress_args(args: std::fmt::Arguments<'_>) {
+    if !enabled() {
+        return;
+    }
+    let msg = args.to_string();
+    if CONSOLE.load(Ordering::Relaxed) {
+        eprintln!("{msg}");
+    }
+    global().events.push(Event {
+        name: "progress".to_owned(),
+        t_us: now_us(),
+        thread: thread_id(),
+        fields: vec![("msg".to_owned(), FieldValue::Str(msg))],
+    });
+}
+
+/// A progress line: human-readable on stderr (the default console sink)
+/// *and* a structured `progress` event in the log. Replaces the ad-hoc
+/// `eprintln!` progress reporting; silent while the recorder is off.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress_args(::core::format_args!($($arg)*))
+    };
+}
+
+/// Everything the global recorder has collected.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Wall-clock milliseconds since the last [`enable`].
+    pub wall_ms: f64,
+    /// All metric values.
+    pub metrics: MetricsSnapshot,
+    /// Flat span records (open spans closed at snapshot time).
+    pub span_records: Vec<SpanRecord>,
+    /// The aggregated span-timing forest.
+    pub spans: Vec<SpanNode>,
+    /// All structured events.
+    pub events: Vec<Event>,
+}
+
+/// Snapshots the global recorder (readable whether or not it is still
+/// enabled).
+pub fn snapshot() -> Snapshot {
+    let g = global();
+    let now = now_us();
+    let span_records = g.spans.snapshot(now);
+    let spans = span::aggregate(&span_records);
+    Snapshot {
+        wall_ms: now.saturating_sub(ENABLED_AT_US.load(Ordering::Relaxed)) as f64 / 1e3,
+        metrics: g.registry.snapshot(),
+        span_records,
+        spans,
+        events: g.events.snapshot(),
+    }
+}

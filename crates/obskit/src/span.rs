@@ -1,0 +1,278 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is opened with [`crate::span`] and closed when its guard
+//! drops; the store records `(name, start, duration, parent, thread)`
+//! per span. Parentage comes from a per-thread stack, so nesting follows
+//! lexical scope on each thread. [`aggregate`] folds the flat record
+//! list into a name-keyed timing tree for reports.
+
+use std::sync::Mutex;
+
+/// One recorded (possibly still open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (dot-separated, e.g. `pipeline.verify`).
+    pub name: String,
+    /// Start time in microseconds since the recorder was enabled.
+    pub start_us: u64,
+    /// Duration in microseconds; [`OPEN`] while the span is running.
+    pub dur_us: u64,
+    /// Index of the enclosing span on the same thread, if any.
+    pub parent: Option<u32>,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+    /// Nesting depth on its thread (0 = root).
+    pub depth: u16,
+}
+
+/// Sentinel duration of a span that has not finished yet.
+pub const OPEN: u64 = u64::MAX;
+
+impl SpanRecord {
+    /// `true` once the span has closed.
+    pub fn is_closed(&self) -> bool {
+        self.dur_us != OPEN
+    }
+}
+
+/// Append-only store of span records.
+#[derive(Debug, Default)]
+pub struct SpanStore {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+fn lock(store: &Mutex<Vec<SpanRecord>>) -> std::sync::MutexGuard<'_, Vec<SpanRecord>> {
+    match store.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl SpanStore {
+    /// Opens a span and returns its id.
+    pub fn open(
+        &self,
+        name: &str,
+        start_us: u64,
+        parent: Option<u32>,
+        thread: u64,
+        depth: u16,
+    ) -> u32 {
+        let mut records = lock(&self.records);
+        let id = records.len() as u32;
+        records.push(SpanRecord {
+            name: name.to_owned(),
+            start_us,
+            dur_us: OPEN,
+            parent,
+            thread,
+            depth,
+        });
+        id
+    }
+
+    /// Closes span `id` at `end_us`.
+    pub fn close(&self, id: u32, end_us: u64) {
+        let mut records = lock(&self.records);
+        if let Some(r) = records.get_mut(id as usize) {
+            r.dur_us = end_us.saturating_sub(r.start_us);
+        }
+    }
+
+    /// Copies out every record; spans still open are closed *in the
+    /// copy* at `now_us` so snapshots taken mid-run stay meaningful.
+    pub fn snapshot(&self, now_us: u64) -> Vec<SpanRecord> {
+        lock(&self.records)
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                if !r.is_closed() {
+                    r.dur_us = now_us.saturating_sub(r.start_us);
+                }
+                r
+            })
+            .collect()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        lock(&self.records).len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all records.
+    pub fn clear(&self) {
+        lock(&self.records).clear();
+    }
+}
+
+/// One node of the aggregated span-timing tree: all spans that share a
+/// name *and* an ancestor name path are folded together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// How many spans folded into this node.
+    pub count: u64,
+    /// Total wall-clock microseconds across those spans.
+    pub total_us: u64,
+    /// Longest single span.
+    pub max_us: u64,
+    /// Child nodes in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(name: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_owned(),
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut SpanNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(SpanNode::new(name));
+        let last = self.children.len() - 1;
+        &mut self.children[last]
+    }
+
+    /// Microseconds not accounted for by children (clamped at 0).
+    pub fn self_us(&self) -> u64 {
+        self.total_us
+            .saturating_sub(self.children.iter().map(|c| c.total_us).sum())
+    }
+
+    /// Depth-first search for a node by name anywhere in this subtree.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Folds flat span records into a forest keyed by name paths: two spans
+/// aggregate into the same node iff the name chains from their roots
+/// match. Roots appear in first-seen order.
+pub fn aggregate(records: &[SpanRecord]) -> Vec<SpanNode> {
+    // Name path per record, computed via parent links.
+    let mut paths: Vec<Vec<&str>> = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let mut path = match r.parent {
+            // Parents always precede children in the store.
+            Some(p) if (p as usize) < i => paths[p as usize].clone(),
+            _ => Vec::new(),
+        };
+        path.push(r.name.as_str());
+        paths.push(path);
+    }
+
+    let mut forest: Vec<SpanNode> = Vec::new();
+    for (r, path) in records.iter().zip(&paths) {
+        let mut segments = path.iter();
+        let Some(&root_name) = segments.next() else {
+            continue;
+        };
+        let root = match forest.iter().position(|n| n.name == root_name) {
+            Some(i) => &mut forest[i],
+            None => {
+                forest.push(SpanNode::new(root_name));
+                let last = forest.len() - 1;
+                &mut forest[last]
+            }
+        };
+        let node = segments.fold(root, |node, seg| node.child_mut(seg));
+        node.count += 1;
+        node.total_us += r.dur_us;
+        node.max_us = node.max_us.max(r.dur_us);
+    }
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, start: u64, dur: u64, parent: Option<u32>, depth: u16) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            start_us: start,
+            dur_us: dur,
+            parent,
+            thread: 0,
+            depth,
+        }
+    }
+
+    #[test]
+    fn aggregate_folds_same_path_and_keeps_hierarchy() {
+        // run { sample { verify } sample { verify } } — two sample spans
+        // fold into one node, as do their verify children.
+        let records = vec![
+            rec("run", 0, 100, None, 0),
+            rec("sample", 5, 30, Some(0), 1),
+            rec("verify", 10, 20, Some(1), 2),
+            rec("sample", 40, 50, Some(0), 1),
+            rec("verify", 45, 40, Some(3), 2),
+        ];
+        let forest = aggregate(&records);
+        assert_eq!(forest.len(), 1);
+        let run = &forest[0];
+        assert_eq!((run.count, run.total_us), (1, 100));
+        assert_eq!(run.children.len(), 1);
+        let sample = &run.children[0];
+        assert_eq!(
+            (sample.name.as_str(), sample.count, sample.total_us),
+            ("sample", 2, 80)
+        );
+        assert_eq!(sample.max_us, 50);
+        let verify = &sample.children[0];
+        assert_eq!((verify.count, verify.total_us), (2, 60));
+        // Self time subtracts child totals.
+        assert_eq!(run.self_us(), 20);
+        assert_eq!(sample.self_us(), 20);
+        // find() reaches nested nodes.
+        assert_eq!(run.find("verify").map(|n| n.count), Some(2));
+        assert_eq!(run.find("missing"), None);
+    }
+
+    #[test]
+    fn same_name_different_parent_stays_separate() {
+        let records = vec![
+            rec("a", 0, 10, None, 0),
+            rec("x", 1, 2, Some(0), 1),
+            rec("b", 20, 10, None, 0),
+            rec("x", 21, 3, Some(2), 1),
+        ];
+        let forest = aggregate(&records);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].children[0].total_us, 2);
+        assert_eq!(forest[1].children[0].total_us, 3);
+    }
+
+    #[test]
+    fn store_open_close_snapshot() {
+        let store = SpanStore::default();
+        let a = store.open("a", 100, None, 0, 0);
+        let b = store.open("b", 150, Some(a), 0, 1);
+        store.close(b, 250);
+        // `a` is still open: the snapshot closes it at `now`.
+        let snap = store.snapshot(1_100);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].dur_us, 1_000);
+        assert_eq!(snap[1].dur_us, 100);
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

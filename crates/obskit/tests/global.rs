@@ -1,0 +1,110 @@
+//! Integration tests for the global recorder facade.
+//!
+//! The recorder is process-global, so everything that toggles it lives
+//! in ONE test function — the test harness runs separate `#[test]`s in
+//! parallel threads and interleaved enable/disable would race.
+
+use obskit::FieldValue;
+
+#[test]
+fn global_recorder_end_to_end() {
+    // While disabled (the default), nothing records.
+    assert!(!obskit::enabled());
+    obskit::counter_add("noop.counter", 7);
+    obskit::observe("noop.hist", 1);
+    {
+        let _s = obskit::span("noop.span");
+    }
+    let before = obskit::snapshot();
+    assert!(before.metrics.counters.is_empty());
+    assert!(before.span_records.is_empty());
+
+    // Enabled: spans nest via the per-thread stack, metrics accumulate,
+    // events carry typed fields.
+    obskit::enable();
+    assert!(obskit::enabled());
+    obskit::set_console(false); // keep test output clean
+    {
+        let _outer = obskit::span("test.outer");
+        obskit::counter_add("test.counter", 2);
+        obskit::counter_add("test.counter", 3);
+        obskit::gauge_set("test.gauge", 1.5);
+        obskit::observe("test.hist", 10);
+        {
+            let _inner = obskit::span("test.inner");
+            obskit::progress!("step {}", 1);
+        }
+        obskit::event("test.event", vec![("k", FieldValue::from(9usize))]);
+    }
+    // A span on another thread gets its own root (no cross-thread parent).
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _t = obskit::span("test.thread");
+        });
+    });
+    let snap = obskit::snapshot();
+    obskit::disable();
+    obskit::set_console(true);
+
+    assert_eq!(snap.metrics.counters, vec![("test.counter".to_string(), 5)]);
+    assert_eq!(snap.metrics.gauges, vec![("test.gauge".to_string(), 1.5)]);
+    assert_eq!(snap.metrics.histograms.len(), 1);
+    assert_eq!(snap.metrics.histograms[0].1.count, 1);
+
+    // Span forest: test.outer > test.inner, and test.thread as a root.
+    let outer = snap
+        .spans
+        .iter()
+        .find(|n| n.name == "test.outer")
+        .expect("outer span aggregated");
+    assert_eq!(outer.count, 1);
+    assert_eq!(outer.children.len(), 1);
+    assert_eq!(outer.children[0].name, "test.inner");
+    assert!(outer.total_us >= outer.children[0].total_us);
+    assert!(snap.spans.iter().any(|n| n.name == "test.thread"));
+
+    // Flat records keep parent links and per-thread depth.
+    let outer_rec = snap
+        .span_records
+        .iter()
+        .position(|r| r.name == "test.outer")
+        .expect("outer record");
+    let inner_rec = snap
+        .span_records
+        .iter()
+        .find(|r| r.name == "test.inner")
+        .expect("inner record");
+    assert_eq!(inner_rec.parent, Some(outer_rec as u32));
+    assert_eq!(inner_rec.depth, 1);
+    let thread_rec = snap
+        .span_records
+        .iter()
+        .find(|r| r.name == "test.thread")
+        .expect("thread record");
+    assert_eq!(thread_rec.parent, None);
+    assert_ne!(thread_rec.thread, inner_rec.thread);
+
+    // Events: the progress! line and the explicit event, in order.
+    let names: Vec<&str> = snap.events.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["progress", "test.event"]);
+    assert_eq!(
+        snap.events[0].fields,
+        vec![("msg".to_string(), FieldValue::Str("step 1".into()))]
+    );
+
+    // After disable, new data is dropped again …
+    obskit::counter_add("test.counter", 100);
+    let after = obskit::snapshot();
+    assert_eq!(
+        after.metrics.counters,
+        vec![("test.counter".to_string(), 5)]
+    );
+
+    // … and re-enable starts from a clean slate.
+    obskit::enable();
+    let clean = obskit::snapshot();
+    assert!(clean.metrics.counters.is_empty());
+    assert!(clean.span_records.is_empty());
+    assert!(clean.events.is_empty());
+    obskit::disable();
+}

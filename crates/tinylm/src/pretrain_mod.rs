@@ -60,16 +60,19 @@ pub fn pretrain(
     rng: &mut impl Rng,
 ) -> PretrainStats {
     assert!(!corpus.is_empty(), "pretraining corpus must be non-empty");
+    let started = std::time::Instant::now();
     let mut adam = Adam::new(options.lr, model.params().len());
     let mut order: Vec<usize> = (0..corpus.len()).collect();
     let mut nll_per_epoch = Vec::with_capacity(options.epochs);
-    for _ in 0..options.epochs {
+    let mut tokens_seen = 0u64;
+    for epoch in 0..options.epochs {
         order.shuffle(rng);
         let mut epoch_nll = 0.0f64;
         for batch in order.chunks(options.batch_size) {
             let mut grad = GradBuffer::zeros(model);
             for &i in batch {
                 let (task, ref tokens) = corpus[i];
+                tokens_seen += tokens.len() as u64;
                 let (lp, g) = model
                     .log_prob_grad(task, tokens)
                     .expect("corpus uses model vocabulary");
@@ -79,7 +82,19 @@ pub fn pretrain(
             }
             adam.step(model.params_mut(), &grad.0);
         }
-        nll_per_epoch.push((epoch_nll / corpus.len() as f64) as f32);
+        let nll = (epoch_nll / corpus.len() as f64) as f32;
+        nll_per_epoch.push(nll);
+        obskit::event(
+            "pretrain.epoch",
+            vec![("epoch", epoch.into()), ("nll", nll.into())],
+        );
+    }
+    if obskit::enabled() {
+        obskit::counter_add("pretrain.tokens", tokens_seen);
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            obskit::gauge_set("pretrain.tokens_per_sec", tokens_seen as f64 / secs);
+        }
     }
     PretrainStats { nll_per_epoch }
 }
