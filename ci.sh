@@ -25,13 +25,21 @@ cargo run -q -p speclint -- --deny-warnings
 echo "==> certkit gate (certification + differential suite)"
 cargo run -q -p certkit --release
 
-echo "==> obskit smoke gate (instrumented bench run + schema check)"
+echo "==> obskit smoke gate (instrumented 2-thread bench run + schema check)"
 smoke_report="$(mktemp -t BENCH_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_report"' EXIT
+smoke_art1="$(mktemp -t headline_t1.XXXXXX.json)"
+smoke_art2="$(mktemp -t headline_t2.XXXXXX.json)"
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2"' EXIT
 cargo run -q --release -p bench --bin headline -- \
-    --fast --quiet --metrics-out "$smoke_report" > /dev/null
+    --fast --quiet --threads 2 --metrics-out "$smoke_report" \
+    --artifacts-out "$smoke_art2" > /dev/null
 cargo run -q --release -p bench --bin metrics_check -- "$smoke_report" \
-    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained \
-    --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval
+    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses \
+    --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval,pipeline.score_batch,pipeline.score
+
+echo "==> parallel determinism gate (headline artifacts, --threads 1 vs 2)"
+cargo run -q --release -p bench --bin headline -- \
+    --fast --quiet --no-obs --threads 1 --artifacts-out "$smoke_art1" > /dev/null
+cmp "$smoke_art1" "$smoke_art2"
 
 echo "ci: all gates passed"

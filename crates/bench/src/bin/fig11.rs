@@ -1,14 +1,14 @@
 //! Figure 11: empirical satisfaction rates `P_Φ` of Φ₁…Φ₅ during actual
 //! operation in the driving simulator, before vs after fine-tuning.
 
-use bench::{pipeline_config, table, BenchCli};
+use bench::{table, BenchCli};
 use dpo_af::experiments::fig11::{self, Fig11Config};
 use dpo_af::pipeline::DpoAf;
 use obskit::progress;
 
 fn main() {
     let cli = BenchCli::parse("fig11");
-    let cfg = pipeline_config(cli.fast);
+    let cfg = cli.pipeline_config();
     let mut fig_cfg = Fig11Config::default();
     if cli.fast {
         fig_cfg.samples_per_task = 1;

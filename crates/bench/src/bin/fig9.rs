@@ -1,14 +1,14 @@
 //! Figure 9: number of specifications satisfied (of 15) vs DPO training
 //! epoch, for training and validation tasks.
 
-use bench::{pipeline_config, table, BenchCli};
+use bench::{table, BenchCli};
 use dpo_af::experiments::fig9;
 use dpo_af::pipeline::DpoAf;
 use obskit::progress;
 
 fn main() {
     let cli = BenchCli::parse("fig9");
-    let mut cfg = pipeline_config(cli.fast);
+    let mut cfg = cli.pipeline_config();
     if cli.fast {
         cfg.checkpoint_every = 5;
     }

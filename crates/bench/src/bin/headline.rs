@@ -3,19 +3,28 @@
 //! (abstract: "from 60% to above 90%"), averaged over independent
 //! pipeline seeds.
 
-use bench::{pipeline_config, BenchCli};
+use bench::BenchCli;
 use dpo_af::experiments::headline;
 use dpo_af::pipeline::DpoAf;
 use obskit::progress;
 
 fn main() {
     let cli = BenchCli::parse("headline");
+    // `--artifacts-out <path>`: serialize the first seed's RunArtifacts,
+    // so two invocations can be diffed byte-for-byte (the ci.sh
+    // determinism smoke compares --threads 1 against --threads 2).
+    let artifacts_out = cli
+        .args
+        .iter()
+        .position(|a| a == "--artifacts-out")
+        .and_then(|i| cli.args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let seeds: &[u64] = if cli.fast { &[7] } else { &[7, 17, 27] };
     let mut befores = Vec::new();
     let mut afters = Vec::new();
     let mut pairs = 0;
-    for &seed in seeds {
-        let mut cfg = pipeline_config(cli.fast);
+    for (run, &seed) in seeds.iter().enumerate() {
+        let mut cfg = cli.pipeline_config();
         cfg.seed = seed;
         if !cli.fast {
             cfg.eval_samples = 8;
@@ -23,6 +32,21 @@ fn main() {
         let pipeline = DpoAf::new(cfg);
         progress!("running the full DPO-AF pipeline (seed {seed}) …");
         let artifacts = pipeline.run();
+        let (hits, misses) = pipeline.cache_stats();
+        if hits + misses > 0 {
+            progress!(
+                "  verify cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
+                100.0 * hits as f64 / (hits + misses) as f64
+            );
+        }
+        if run == 0 {
+            if let Some(path) = &artifacts_out {
+                artifacts
+                    .save(path)
+                    .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+                eprintln!("run artifacts written to {}", path.display());
+            }
+        }
         let result = headline::from_artifacts(&artifacts);
         println!(
             "  seed {seed}: {:.1}% → {:.1}%  ({} pairs)",

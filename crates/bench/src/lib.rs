@@ -42,6 +42,11 @@ use std::time::Instant;
 /// | `--trace-out <p>`    | write a Chrome trace (open in `chrome://tracing` / Perfetto) |
 /// | `--no-obs`           | keep the no-op recorder (overhead baseline; also silences progress) |
 /// | `--quiet`            | drop the stderr progress sink, keep recording |
+/// | `--threads <n>`      | scoring fan-out width (0/omitted = `PARKIT_THREADS` or the machine) |
+/// | `--no-cache`         | disable the verification memo-cache |
+///
+/// `--threads` and `--no-cache` are pure performance knobs — results are
+/// byte-identical whatever you pass (see DESIGN.md §8).
 ///
 /// [`BenchCli::parse`] enables the global `obskit` recorder (unless
 /// `--no-obs`), and [`BenchCli::finish`] snapshots it and writes the
@@ -58,6 +63,10 @@ pub struct BenchCli {
     pub trace_out: Option<PathBuf>,
     /// `--no-obs` was passed: leave the no-op recorder selected.
     pub no_obs: bool,
+    /// `--threads` value (0 = auto-resolve, the default).
+    pub threads: usize,
+    /// `--no-cache` was passed: disable verification memoization.
+    pub no_cache: bool,
     /// The raw argument list (recorded in the report for provenance).
     pub args: Vec<String>,
     started: Instant,
@@ -78,6 +87,8 @@ impl BenchCli {
             metrics_out: None,
             trace_out: None,
             no_obs: false,
+            threads: 0,
+            no_cache: false,
             args: args.clone(),
             started: Instant::now(),
         };
@@ -88,8 +99,12 @@ impl BenchCli {
                 "--fast" => cli.fast = true,
                 "--no-obs" => cli.no_obs = true,
                 "--quiet" => quiet = true,
+                "--no-cache" => cli.no_cache = true,
                 "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
                 "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
+                "--threads" => {
+                    cli.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                }
                 _ => {}
             }
         }
@@ -120,7 +135,11 @@ impl BenchCli {
             eprintln!("metrics report written to {}", path.display());
         }
         if let Some(path) = &self.trace_out {
-            let trace = obskit::chrome::chrome_trace(&snapshot.span_records, &snapshot.events);
+            let trace = obskit::chrome::chrome_trace_named(
+                &snapshot.span_records,
+                &snapshot.events,
+                &snapshot.thread_names,
+            );
             std::fs::write(path, trace)
                 .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
             eprintln!(
@@ -129,6 +148,16 @@ impl BenchCli {
             );
         }
         snapshot
+    }
+
+    /// The pipeline configuration implied by this command line: the
+    /// shared [`pipeline_config`] reduction for `--fast`, with the
+    /// `--threads` / `--no-cache` performance knobs applied.
+    pub fn pipeline_config(&self) -> dpo_af::pipeline::PipelineConfig {
+        let mut cfg = pipeline_config(self.fast);
+        cfg.threads = self.threads;
+        cfg.verify_cache = !self.no_cache;
+        cfg
     }
 }
 
@@ -203,6 +232,9 @@ mod tests {
                 "out/BENCH_headline.json",
                 "--trace-out",
                 "/tmp/headline.trace.json",
+                "--threads",
+                "4",
+                "--no-cache",
                 "--seeds=3", // unknown flags are left for the binary
             ]
             .map(str::to_owned)
@@ -219,7 +251,19 @@ mod tests {
             cli.trace_out.as_deref(),
             Some(std::path::Path::new("/tmp/headline.trace.json"))
         );
-        assert_eq!(cli.args.len(), 7);
+        assert_eq!(cli.threads, 4);
+        assert!(cli.no_cache);
+        assert_eq!(cli.args.len(), 10);
+
+        // The performance knobs land in the pipeline configuration.
+        let cfg = cli.pipeline_config();
+        assert_eq!(cfg.threads, 4);
+        assert!(!cfg.verify_cache);
+        let defaults = BenchCli::from_args("headline", vec!["--no-obs".to_owned()]);
+        assert_eq!(defaults.threads, 0);
+        let cfg = defaults.pipeline_config();
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.verify_cache);
     }
 
     #[test]

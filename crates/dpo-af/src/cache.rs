@@ -1,0 +1,181 @@
+//! Verification memoization: duplicate responses skip model checking.
+//!
+//! Sampled step lists repeat heavily — a handful of high-probability
+//! phrasings dominate the policy's output, and the same response shows
+//! up again and again across rounds, iterations and checkpoint
+//! evaluations. Formal scoring is a pure function of the decoded
+//! response text and the scenario it is checked in (the task prompt only
+//! labels the controller and diagnostics; it never reaches the product
+//! automaton), so the pipeline caches verdicts keyed by
+//! `(scenario kind, response text)`.
+//!
+//! The cache is sharded: each key hashes to one of [`SHARDS`] independent
+//! `Mutex<HashMap>` shards, so the parallel scoring fan-out rarely
+//! contends on a single lock. Hit/miss tallies are kept in local atomics
+//! (readable without the global recorder) and mirrored to the obskit
+//! counters `verify.cache_hits` / `verify.cache_misses`.
+//!
+//! **Invalidation:** there is none, by design. A cache lives inside one
+//! [`crate::pipeline::DpoAf`], whose rule book, lexicon and scenario
+//! models are fixed for the pipeline's lifetime; a cached verdict can
+//! therefore never go stale. Changing the domain means building a new
+//! pipeline — which starts with an empty cache.
+
+use crate::feedback::CertCounters;
+use drivesim::ScenarioKind;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent shards. Power of two, comfortably above any
+/// realistic pool width so two workers rarely map to the same lock.
+const SHARDS: usize = 16;
+
+/// One memoized verdict: the ranking score, plus the certificate
+/// counters the certified path accumulated when the verdict was first
+/// computed (all zeros in plain mode). Re-adding the counters on a hit
+/// keeps a certified run's totals identical with and without the cache:
+/// every verdict that ranks a response is accounted once per use, and
+/// was independently validated when first produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedScore {
+    /// Number of satisfied specifications — the ranking key.
+    pub num_satisfied: usize,
+    /// Certificate-validation counters from the original computation.
+    pub cert: CertCounters,
+}
+
+/// A sharded `(scenario, text) → verdict` memo table.
+#[derive(Debug, Default)]
+pub struct VerifyCache {
+    shards: [Mutex<HashMap<(ScenarioKind, String), CachedScore>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn lock_shard(
+    shard: &Mutex<HashMap<(ScenarioKind, String), CachedScore>>,
+) -> std::sync::MutexGuard<'_, HashMap<(ScenarioKind, String), CachedScore>> {
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl VerifyCache {
+    /// An empty cache.
+    pub fn new() -> VerifyCache {
+        VerifyCache::default()
+    }
+
+    fn shard(
+        &self,
+        scenario: ScenarioKind,
+        text: &str,
+    ) -> &Mutex<HashMap<(ScenarioKind, String), CachedScore>> {
+        let mut hasher = DefaultHasher::new();
+        scenario.hash(&mut hasher);
+        text.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a memoized verdict, updating the hit/miss counters.
+    pub fn lookup(&self, scenario: ScenarioKind, text: &str) -> Option<CachedScore> {
+        let found = lock_shard(self.shard(scenario, text))
+            .get(&(scenario, text.to_owned()))
+            .copied();
+        match found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obskit::counter_add("verify.cache_hits", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obskit::counter_add("verify.cache_misses", 1);
+            }
+        }
+        found
+    }
+
+    /// Memoizes a freshly computed verdict. Verdicts are deterministic,
+    /// so a racing double-insert of the same key is idempotent.
+    pub fn insert(&self, scenario: ScenarioKind, text: &str, score: CachedScore) {
+        lock_shard(self.shard(scenario, text)).insert((scenario, text.to_owned()), score);
+    }
+
+    /// `(hits, misses)` so far — independent of the global recorder.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct memoized `(scenario, text)` keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_insert_roundtrip_and_stats() {
+        let cache = VerifyCache::new();
+        let score = CachedScore {
+            num_satisfied: 12,
+            cert: CertCounters::default(),
+        };
+        assert_eq!(cache.lookup(ScenarioKind::TrafficLight, "stop ."), None);
+        cache.insert(ScenarioKind::TrafficLight, "stop .", score);
+        assert_eq!(
+            cache.lookup(ScenarioKind::TrafficLight, "stop ."),
+            Some(score)
+        );
+        // Same text, different scenario: a distinct key.
+        assert_eq!(cache.lookup(ScenarioKind::Roundabout, "stop ."), None);
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    /// Keys spread over multiple shards, and concurrent mixed
+    /// lookup/insert traffic stays consistent.
+    #[test]
+    fn sharded_access_under_contention() {
+        let cache = VerifyCache::new();
+        let texts: Vec<String> = (0..200).map(|i| format!("step list {i} .")).collect();
+        std::thread::scope(|s| {
+            let cache = &cache;
+            for chunk in texts.chunks(50) {
+                s.spawn(move || {
+                    for t in chunk {
+                        let score = CachedScore {
+                            num_satisfied: t.len() % 16,
+                            cert: CertCounters::default(),
+                        };
+                        cache.insert(ScenarioKind::WideMedian, t, score);
+                        assert_eq!(
+                            cache.lookup(ScenarioKind::WideMedian, t),
+                            Some(score),
+                            "{t}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 200);
+        assert_eq!(misses, 0);
+    }
+}

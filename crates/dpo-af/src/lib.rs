@@ -23,7 +23,10 @@
 //!   scenario's justice assumptions), and empirical evaluation via
 //!   `drivesim` rollouts.
 //! * [`pipeline`] — the DPO-AF loop: sample → verify → rank → fine-tune,
-//!   with periodic checkpoints.
+//!   with periodic checkpoints. Formal scoring fans out across a `parkit`
+//!   work-stealing pool and memoizes verdicts in a [`cache::VerifyCache`];
+//!   both are pure performance features — artifacts are byte-identical at
+//!   any thread count, cache on or off.
 //! * [`experiments`] — one module per paper artifact (Figures 7, 8, 9,
 //!   11, 12 and the Section 5.1 demonstrations), each returning a
 //!   serializable result consumed by the `bench` crate's binaries.
@@ -31,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod domain;
 pub mod experiments;
 pub mod feedback;
 pub mod pipeline;
 
+pub use cache::{CachedScore, VerifyCache};
 pub use domain::{DomainBundle, Style, TaskSpec};
 pub use feedback::{score_response, score_tokens, ScoredResponse};
 pub use pipeline::{DpoAf, FeedbackSource, PipelineConfig, RunArtifacts};

@@ -12,13 +12,18 @@
 //! 3. DPO fine-tuning with per-epoch metrics (Figure 8) and a checkpoint
 //!    evaluation every `checkpoint_every` epochs (Figure 9).
 
+use crate::cache::{CachedScore, VerifyCache};
 use crate::domain::DomainBundle;
 use crate::domain::TaskSpec;
-use crate::feedback::{empirical_rates, score_tokens, score_tokens_certified, CertCounters};
+use crate::feedback::{
+    empirical_rates, score_response, score_response_certified, score_tokens,
+    score_tokens_certified, CertCounters,
+};
 use dpo::{DpoTrainer, EpochStats, PreferenceDataset, TrainOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use tinylm::{pretrain, AdaptMode, CondLm, LmConfig, PretrainOptions, SampleOptions};
 
 /// Pipeline hyperparameters.
@@ -74,6 +79,15 @@ pub struct PipelineConfig {
     /// every preference pair. Off by default (it roughly doubles
     /// verification cost; see EXPERIMENTS.md).
     pub certified: bool,
+    /// Worker threads for the formal-scoring fan-out (0 = resolve from
+    /// `PARKIT_THREADS`, falling back to the machine's available
+    /// parallelism). Purely a scheduling knob: artifacts are
+    /// byte-identical at any thread count.
+    pub threads: usize,
+    /// Memoize formal verdicts by `(scenario, response text)` so repeated
+    /// responses skip synthesis and model checking. Never changes scores
+    /// or certified counters; on by default.
+    pub verify_cache: bool,
 }
 
 /// The source of the automated ranking signal.
@@ -126,6 +140,8 @@ impl Default for PipelineConfig {
             lm_context: 5,
             feedback: FeedbackSource::Formal,
             certified: false,
+            threads: 0,
+            verify_cache: true,
         }
     }
 }
@@ -211,7 +227,7 @@ impl RunArtifacts {
 }
 
 /// The assembled DPO-AF pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DpoAf {
     /// The task domain.
     pub bundle: DomainBundle,
@@ -219,8 +235,14 @@ pub struct DpoAf {
     pub config: PipelineConfig,
     /// Accumulated certificate-validation counters (certified mode).
     /// Interior mutability because scoring happens behind `&self` in
-    /// sampling and evaluation closures.
-    cert_counters: std::cell::RefCell<CertCounters>,
+    /// sampling and evaluation closures; a mutex (not a `RefCell`)
+    /// because those closures run on pool workers.
+    cert_counters: Mutex<CertCounters>,
+    /// Memoized formal verdicts, shared across rounds, iterations and
+    /// checkpoint evaluations.
+    cache: VerifyCache,
+    /// The work-stealing pool behind the scoring fan-out.
+    pool: parkit::ThreadPool,
 }
 
 impl DpoAf {
@@ -228,15 +250,34 @@ impl DpoAf {
     pub fn new(config: PipelineConfig) -> Self {
         DpoAf {
             bundle: DomainBundle::new(),
+            cert_counters: Mutex::new(CertCounters::default()),
+            cache: VerifyCache::new(),
+            pool: parkit::ThreadPool::with_threads(config.threads),
             config,
-            cert_counters: std::cell::RefCell::new(CertCounters::default()),
+        }
+    }
+
+    fn lock_cert(&self) -> std::sync::MutexGuard<'_, CertCounters> {
+        match self.cert_counters.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
     /// The certificate-validation counters accumulated so far (all zeros
     /// unless [`PipelineConfig::certified`] is set).
     pub fn cert_counters(&self) -> CertCounters {
-        *self.cert_counters.borrow()
+        *self.lock_cert()
+    }
+
+    /// The pool the scoring fan-out runs on.
+    pub fn pool(&self) -> &parkit::ThreadPool {
+        &self.pool
+    }
+
+    /// `(hits, misses)` of the verification memo-cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
     }
 
     /// The language-model configuration implied by the domain.
@@ -281,31 +322,119 @@ impl DpoAf {
     /// Scores one response under the configured [`FeedbackSource`]: the
     /// number of specifications satisfied, by model checking or by
     /// simulator rollouts.
+    ///
+    /// Formal feedback never touches `rng` — the verdict is a pure
+    /// function of the scenario and the decoded text, which is what makes
+    /// the parallel fan-out and the memo-cache sound (see
+    /// [`DpoAf::score_formal`]).
     pub fn score(&self, task: &TaskSpec, tokens: &[tinylm::Token], rng: &mut impl Rng) -> usize {
+        match self.config.feedback {
+            FeedbackSource::Formal => self.score_formal(task, &self.bundle.decode(tokens)),
+            FeedbackSource::Empirical { episodes, steps } => {
+                self.score_empirical(task, tokens, episodes, steps, rng)
+            }
+        }
+    }
+
+    /// Formal scoring: deterministic, RNG-free, memoized.
+    ///
+    /// On a cache hit the stored verdict is returned without re-running
+    /// synthesis or model checking; in certified mode the hit also
+    /// re-accounts the stored certificate counters, so a run's totals are
+    /// identical with the cache on or off — every verdict that ranks a
+    /// response is counted once per use, and was independently validated
+    /// when first produced.
+    pub fn score_formal(&self, task: &TaskSpec, text: &str) -> usize {
+        obskit::counter_add("pipeline.responses_scored", 1);
+        if self.config.verify_cache {
+            if let Some(hit) = self.cache.lookup(task.scenario, text) {
+                if self.config.certified {
+                    self.lock_cert().add(hit.cert);
+                }
+                return hit.num_satisfied;
+            }
+        }
+        let (num_satisfied, cert) = if self.config.certified {
+            let (scored, counters) = score_response_certified(&self.bundle, task, text);
+            obskit::counter_add("pipeline.certificates_validated", counters.checks as u64);
+            self.lock_cert().add(counters);
+            (scored.num_satisfied, counters)
+        } else {
+            (
+                score_response(&self.bundle, task, text).num_satisfied,
+                CertCounters::default(),
+            )
+        };
+        if self.config.verify_cache {
+            self.cache.insert(
+                task.scenario,
+                text,
+                CachedScore {
+                    num_satisfied,
+                    cert,
+                },
+            );
+        }
+        num_satisfied
+    }
+
+    /// Empirical scoring: verify the controller synthesizes, then count
+    /// specifications whose simulator satisfaction rate reaches 1.0.
+    /// Consumes `rng` for the rollouts, so it stays serial and uncached.
+    fn score_empirical(
+        &self,
+        task: &TaskSpec,
+        tokens: &[tinylm::Token],
+        episodes: usize,
+        steps: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
         obskit::counter_add("pipeline.responses_scored", 1);
         let scored = if self.config.certified {
             let (scored, counters) = score_tokens_certified(&self.bundle, task, tokens);
             obskit::counter_add("pipeline.certificates_validated", counters.checks as u64);
-            self.cert_counters.borrow_mut().add(counters);
+            self.lock_cert().add(counters);
             scored
         } else {
             score_tokens(&self.bundle, task, tokens)
         };
-        match self.config.feedback {
-            FeedbackSource::Formal => scored.num_satisfied,
-            FeedbackSource::Empirical { episodes, steps } => match &scored.controller {
-                None => 0,
-                Some(ctrl) => {
-                    let rates = empirical_rates(&self.bundle, task, ctrl, episodes, steps, rng);
-                    rates.iter().filter(|&&(_, r)| r >= 0.999).count()
-                }
-            },
+        match &scored.controller {
+            None => 0,
+            Some(ctrl) => {
+                let rates = empirical_rates(&self.bundle, task, ctrl, episodes, steps, rng);
+                rates.iter().filter(|&&(_, r)| r >= 0.999).count()
+            }
         }
+    }
+
+    /// Scores a batch of decoded responses with one pool task each,
+    /// joining index-ordered: callers see the same scores in the same
+    /// positions at any thread count. Workers parent their spans under
+    /// the caller's `pipeline.score_batch` span via an obskit handoff.
+    fn score_formal_batch<'p, T: Sync>(
+        &'p self,
+        items: &[T],
+        task_of: impl Fn(&T) -> &'p TaskSpec + Sync,
+        text_of: impl Fn(&T) -> &str + Sync,
+    ) -> Vec<usize> {
+        let batch = obskit::span("pipeline.score_batch");
+        let handoff = batch.handoff();
+        self.pool.map(items, |_, item| {
+            let _s = obskit::span_under("pipeline.score", handoff);
+            self.score_formal(task_of(item), text_of(item))
+        })
     }
 
     /// Samples `m` responses per training task per round, scores each by
     /// the configured feedback source, and assembles all strictly-ordered
     /// preference pairs.
+    ///
+    /// Under formal feedback, each task's `m` responses are sampled
+    /// serially (sampling drives the RNG) and then scored as one parallel
+    /// fan-out — scoring is RNG-free, so the RNG stream, and with it every
+    /// artifact, is identical to the fully serial interleaved loop.
+    /// Empirical feedback keeps that interleaved loop: its rollouts
+    /// consume the RNG, so reordering them would change the run.
     // Task ids come from the bundle itself, so sampling cannot see an
     // out-of-range id; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
@@ -320,16 +449,38 @@ impl DpoAf {
         for _ in 0..self.config.rounds {
             for &tid in &self.training_tasks() {
                 let task = &self.bundle.tasks[tid];
-                let scored: Vec<(Vec<tinylm::Token>, usize)> = (0..self.config.responses_per_task)
-                    .map(|_| {
-                        let tokens = {
-                            let _s = obskit::span("pipeline.sample");
-                            lm.sample(tid, rng, opts).expect("task id in range")
-                        };
-                        let score = self.score(task, &tokens, rng);
-                        (tokens, score)
-                    })
-                    .collect();
+                let scored: Vec<(Vec<tinylm::Token>, usize)> = match self.config.feedback {
+                    FeedbackSource::Formal => {
+                        let sampled: Vec<(Vec<tinylm::Token>, String)> =
+                            (0..self.config.responses_per_task)
+                                .map(|_| {
+                                    let tokens = {
+                                        let _s = obskit::span("pipeline.sample");
+                                        lm.sample(tid, rng, opts).expect("task id in range")
+                                    };
+                                    let text = self.bundle.decode(&tokens);
+                                    (tokens, text)
+                                })
+                                .collect();
+                        let scores =
+                            self.score_formal_batch(&sampled, |_| task, |(_, text)| text.as_str());
+                        sampled
+                            .into_iter()
+                            .zip(scores)
+                            .map(|((tokens, _), score)| (tokens, score))
+                            .collect()
+                    }
+                    FeedbackSource::Empirical { .. } => (0..self.config.responses_per_task)
+                        .map(|_| {
+                            let tokens = {
+                                let _s = obskit::span("pipeline.sample");
+                                lm.sample(tid, rng, opts).expect("task id in range")
+                            };
+                            let score = self.score(task, &tokens, rng);
+                            (tokens, score)
+                        })
+                        .collect(),
+                };
                 let before = dataset.len();
                 {
                     let _s = obskit::span("pipeline.rank");
@@ -343,6 +494,11 @@ impl DpoAf {
 
     /// Mean number of satisfied specifications over `eval_samples`
     /// responses per listed task.
+    ///
+    /// Same phase split as [`DpoAf::collect_dataset`]: under formal
+    /// feedback the whole checkpoint's samples are drawn serially, then
+    /// scored in one parallel fan-out (summing `usize` scores is
+    /// order-independent, so the mean is exact at any thread count).
     // Task ids come from the bundle itself, so sampling cannot see an
     // out-of-range id; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
@@ -353,16 +509,36 @@ impl DpoAf {
             max_len: 60,
             ..SampleOptions::default()
         };
-        let mut total = 0usize;
-        let mut count = 0usize;
-        for &tid in tasks {
-            let task = &self.bundle.tasks[tid];
-            for _ in 0..self.config.eval_samples {
-                let tokens = lm.sample(tid, rng, opts).expect("task id in range");
-                total += self.score(task, &tokens, rng);
-                count += 1;
+        let (total, count) = match self.config.feedback {
+            FeedbackSource::Formal => {
+                let mut sampled: Vec<(usize, String)> = Vec::new();
+                for &tid in tasks {
+                    for _ in 0..self.config.eval_samples {
+                        let tokens = lm.sample(tid, rng, opts).expect("task id in range");
+                        sampled.push((tid, self.bundle.decode(&tokens)));
+                    }
+                }
+                let scores = self.score_formal_batch(
+                    &sampled,
+                    |&(tid, _)| &self.bundle.tasks[tid],
+                    |(_, text)| text.as_str(),
+                );
+                (scores.iter().sum::<usize>(), sampled.len())
             }
-        }
+            FeedbackSource::Empirical { .. } => {
+                let mut total = 0usize;
+                let mut count = 0usize;
+                for &tid in tasks {
+                    let task = &self.bundle.tasks[tid];
+                    for _ in 0..self.config.eval_samples {
+                        let tokens = lm.sample(tid, rng, opts).expect("task id in range");
+                        total += self.score(task, &tokens, rng);
+                        count += 1;
+                    }
+                }
+                (total, count)
+            }
+        };
         if count == 0 {
             0.0
         } else {
@@ -389,6 +565,18 @@ impl DpoAf {
         }
 
         let _run = obskit::span("pipeline.run");
+        // Register the pool/cache metrics up front so instrumented runs
+        // report them even when they stay at zero (single thread, cache
+        // off, no contention).
+        for name in [
+            "pool.tasks",
+            "pool.steals",
+            "verify.cache_hits",
+            "verify.cache_misses",
+        ] {
+            obskit::counter_add(name, 0);
+        }
+        obskit::gauge_set("pool.threads", self.pool.threads() as f64);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pretrained = self.pretrained_lm(&mut rng);
 
@@ -515,6 +703,106 @@ mod tests {
             artifacts.cert.checks
         );
         assert_eq!(artifacts.cert, pipeline.cert_counters());
+    }
+
+    /// The scoring fan-out and the memo-cache are pure performance
+    /// features: a smoke run serializes to the same bytes at 1 or 4
+    /// threads, cache on or off.
+    #[test]
+    fn artifacts_identical_across_threads_and_cache() {
+        let mut cfg = PipelineConfig::smoke();
+        cfg.threads = 1;
+        cfg.verify_cache = true;
+        let baseline = serde_json::to_string(&DpoAf::new(cfg.clone()).run()).expect("serializes");
+        for (threads, cache) in [(4, true), (1, false)] {
+            cfg.threads = threads;
+            cfg.verify_cache = cache;
+            let run = serde_json::to_string(&DpoAf::new(cfg.clone()).run()).expect("serializes");
+            assert_eq!(baseline, run, "threads={threads} cache={cache}");
+        }
+    }
+
+    /// A cache hit returns exactly the verdict a fresh computation
+    /// produces, and the hit/miss counters track lookups.
+    #[test]
+    fn memo_cache_hit_matches_fresh_verdict() {
+        let mut cfg = PipelineConfig::smoke();
+        cfg.threads = 1;
+        let pipeline = DpoAf::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = &pipeline.bundle.tasks[0];
+        let text = crate::domain::render_response(
+            &pipeline.bundle.driving,
+            task,
+            crate::domain::Style::Careful,
+            &mut rng,
+        );
+        let tokens = pipeline.bundle.tokenizer.encode(&text);
+        let first = pipeline.score(task, &tokens, &mut rng);
+        let again = pipeline.score(task, &tokens, &mut rng);
+        assert_eq!(first, again);
+        assert_eq!(pipeline.cache_stats(), (1, 1));
+
+        // An uncached pipeline agrees and never touches its cache.
+        let mut cfg = PipelineConfig::smoke();
+        cfg.verify_cache = false;
+        let uncached = DpoAf::new(cfg);
+        assert_eq!(uncached.score(task, &tokens, &mut rng), first);
+        assert_eq!(uncached.score(task, &tokens, &mut rng), first);
+        assert_eq!(uncached.cache_stats(), (0, 0));
+    }
+
+    /// In certified mode a cache hit re-accounts the stored certificate
+    /// counters, so totals stay exact: two scorings of the same response
+    /// count its 15 verdicts twice even though only the first validated
+    /// certificates.
+    #[test]
+    fn certified_cache_hits_keep_counters_exact() {
+        let mut cfg = PipelineConfig::smoke();
+        cfg.certified = true;
+        cfg.threads = 1;
+        let pipeline = DpoAf::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = &pipeline.bundle.tasks[0];
+        let text = crate::domain::render_response(
+            &pipeline.bundle.driving,
+            task,
+            crate::domain::Style::Careful,
+            &mut rng,
+        );
+        let tokens = pipeline.bundle.tokenizer.encode(&text);
+        let first = pipeline.score(task, &tokens, &mut rng);
+        let again = pipeline.score(task, &tokens, &mut rng);
+        assert_eq!(first, again);
+        assert_eq!(pipeline.cache_stats(), (1, 1));
+        let counters = pipeline.cert_counters();
+        assert_eq!(counters.checks, 30, "{counters:?}");
+        assert_eq!(counters.holds, 2 * first, "{counters:?}");
+        assert_eq!(counters.holds + counters.fails, counters.checks);
+    }
+
+    /// Certified artifacts — including the accumulated certificate
+    /// counters — are identical with the cache on (and a pooled fan-out)
+    /// and fully off.
+    #[test]
+    fn certified_artifacts_identical_with_and_without_cache() {
+        let mut cfg = PipelineConfig::smoke();
+        cfg.certified = true;
+        cfg.responses_per_task = 2;
+        cfg.train.epochs = 2;
+        cfg.train.pairs_per_epoch = Some(4);
+        cfg.checkpoint_every = 100;
+        cfg.threads = 1;
+        cfg.verify_cache = false;
+        let fresh = DpoAf::new(cfg.clone()).run();
+        cfg.verify_cache = true;
+        cfg.threads = 2;
+        let cached = DpoAf::new(cfg).run();
+        assert_eq!(fresh.cert, cached.cert);
+        assert_eq!(
+            serde_json::to_string(&fresh).expect("serializes"),
+            serde_json::to_string(&cached).expect("serializes"),
+        );
     }
 
     #[test]

@@ -12,7 +12,31 @@ use crate::span::SpanRecord;
 
 /// Renders spans and events as a Trace Event Format JSON document.
 pub fn chrome_trace(spans: &[SpanRecord], events: &[Event]) -> String {
-    let mut trace_events: Vec<Value> = Vec::with_capacity(spans.len() + events.len());
+    chrome_trace_named(spans, events, &[])
+}
+
+/// [`chrome_trace`] with per-thread track labels: each `(tid, name)`
+/// pair becomes a `thread_name` metadata record, so pool workers show up
+/// as e.g. `parkit-worker-2` instead of a bare tid.
+pub fn chrome_trace_named(
+    spans: &[SpanRecord],
+    events: &[Event],
+    thread_names: &[(u64, String)],
+) -> String {
+    let mut trace_events: Vec<Value> =
+        Vec::with_capacity(spans.len() + events.len() + thread_names.len());
+    for (tid, name) in thread_names {
+        trace_events.push(Value::Obj(vec![
+            ("name".into(), Value::Str("thread_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::Num(1.0)),
+            ("tid".into(), Value::Num(*tid as f64)),
+            (
+                "args".into(),
+                Value::Obj(vec![("name".into(), Value::Str(name.clone()))]),
+            ),
+        ]));
+    }
     for span in spans {
         trace_events.push(Value::Obj(vec![
             ("name".into(), Value::Str(span.name.clone())),

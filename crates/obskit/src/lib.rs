@@ -45,7 +45,7 @@ pub use span::{SpanNode, SpanRecord, SpanStore};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Whether the global recorder is on. Relaxed is enough: a lost race
@@ -62,6 +62,8 @@ struct Global {
     registry: Registry,
     spans: SpanStore,
     events: EventLog,
+    /// Human-readable names for trace threads (`thread_id() → name`).
+    thread_names: Mutex<Vec<(u64, String)>>,
 }
 
 static GLOBAL: OnceLock<Global> = OnceLock::new();
@@ -71,6 +73,7 @@ fn global() -> &'static Global {
         registry: Registry::new(),
         spans: SpanStore::default(),
         events: EventLog::default(),
+        thread_names: Mutex::new(Vec::new()),
     })
 }
 
@@ -163,6 +166,61 @@ impl Span {
     pub fn noop() -> Span {
         Span { id: None }
     }
+
+    /// Captures this span's identity as a [`Handoff`] token that can be
+    /// moved into tasks running on other threads. Opening a span there
+    /// with [`span_under`] parents it to this span, so fan-out work
+    /// aggregates under the stage that spawned it instead of forming
+    /// per-worker root spans.
+    pub fn handoff(&self) -> Handoff {
+        Handoff { parent: self.id }
+    }
+}
+
+/// A cross-thread span-parentage token; see [`Span::handoff`].
+///
+/// `Copy` and `Send` on purpose: one token is typically captured by many
+/// pool tasks. A token from a disabled recorder (or from [`Span::noop`])
+/// degrades gracefully — [`span_under`] then opens an ordinary root span.
+#[derive(Debug, Clone, Copy)]
+pub struct Handoff {
+    parent: Option<u32>,
+}
+
+/// Opens a span named `name` whose parent is the span behind `handoff`,
+/// even when that span lives on another thread. The new span is pushed
+/// onto *this* thread's span stack, so further nested [`span`] calls on
+/// this thread chain under it.
+pub fn span_under(name: &str, handoff: Handoff) -> Span {
+    if !enabled() {
+        return Span::noop();
+    }
+    let Some(parent) = handoff.parent else {
+        return span(name);
+    };
+    let id = global()
+        .spans
+        .open_under(name, now_us(), parent, thread_id());
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span { id: Some(id) }
+}
+
+/// Names the current thread for trace attribution (e.g. Chrome-trace
+/// track labels). Recorded regardless of whether the recorder is
+/// enabled — a thread's identity is not a measurement — and surviving
+/// [`enable`]'s data clear, so pools created before `enable()` keep
+/// their labels. Last call per thread wins.
+pub fn set_thread_name(name: &str) {
+    let tid = thread_id();
+    let mut names = match global().thread_names.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(entry) = names.iter_mut().find(|(t, _)| *t == tid) {
+        entry.1 = name.to_owned();
+    } else {
+        names.push((tid, name.to_owned()));
+    }
 }
 
 /// Opens a span named `name` on the current thread. While the recorder
@@ -249,6 +307,9 @@ pub struct Snapshot {
     pub spans: Vec<SpanNode>,
     /// All structured events.
     pub events: Vec<Event>,
+    /// Human-readable thread names (`thread id → name`), in
+    /// registration order.
+    pub thread_names: Vec<(u64, String)>,
 }
 
 /// Snapshots the global recorder (readable whether or not it is still
@@ -264,5 +325,9 @@ pub fn snapshot() -> Snapshot {
         span_records,
         spans,
         events: g.events.snapshot(),
+        thread_names: match g.thread_names.lock() {
+            Ok(names) => names.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        },
     }
 }

@@ -71,6 +71,27 @@ impl SpanStore {
         id
     }
 
+    /// Opens a span under an explicit parent id — the cross-thread
+    /// variant behind [`crate::span_under`]. The child's depth is
+    /// derived from the parent record under the same lock, so handoff
+    /// chains nest correctly in the aggregated forest.
+    pub fn open_under(&self, name: &str, start_us: u64, parent: u32, thread: u64) -> u32 {
+        let mut records = lock(&self.records);
+        let depth = records
+            .get(parent as usize)
+            .map_or(0, |p| p.depth.saturating_add(1));
+        let id = records.len() as u32;
+        records.push(SpanRecord {
+            name: name.to_owned(),
+            start_us,
+            dur_us: OPEN,
+            parent: Some(parent),
+            thread,
+            depth,
+        });
+        id
+    }
+
     /// Closes span `id` at `end_us`.
     pub fn close(&self, id: u32, end_us: u64) {
         let mut records = lock(&self.records);

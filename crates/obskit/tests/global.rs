@@ -42,6 +42,20 @@ fn global_recorder_end_to_end() {
             let _t = obskit::span("test.thread");
         });
     });
+    // … unless the parent is handed off explicitly: the fan-out span
+    // parents to `test.fanout` across the thread boundary, and spans
+    // opened while it is on the worker's stack chain under it.
+    {
+        let fanout = obskit::span("test.fanout");
+        let token = fanout.handoff();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                obskit::set_thread_name("test-worker");
+                let _task = obskit::span_under("test.task", token);
+                let _leaf = obskit::span("test.leaf");
+            });
+        });
+    }
     let snap = obskit::snapshot();
     obskit::disable();
     obskit::set_console(true);
@@ -83,6 +97,44 @@ fn global_recorder_end_to_end() {
         .expect("thread record");
     assert_eq!(thread_rec.parent, None);
     assert_ne!(thread_rec.thread, inner_rec.thread);
+
+    // Handoff parentage: test.fanout > test.task > test.leaf in the
+    // aggregated forest even though task/leaf ran on another thread.
+    let fanout = snap
+        .spans
+        .iter()
+        .find(|n| n.name == "test.fanout")
+        .expect("fanout span aggregated");
+    let task = fanout.find("test.task").expect("task under fanout");
+    assert_eq!(task.count, 1);
+    assert!(task.find("test.leaf").is_some(), "leaf chains under task");
+    let fanout_rec = snap
+        .span_records
+        .iter()
+        .position(|r| r.name == "test.fanout")
+        .expect("fanout record");
+    let task_rec = snap
+        .span_records
+        .iter()
+        .find(|r| r.name == "test.task")
+        .expect("task record");
+    assert_eq!(task_rec.parent, Some(fanout_rec as u32));
+    assert_eq!(task_rec.depth, 1);
+    assert_ne!(
+        task_rec.thread, snap.span_records[fanout_rec].thread,
+        "handoff crossed a thread boundary"
+    );
+
+    // The worker registered a human-readable name, and the Chrome
+    // exporter renders it as thread_name metadata.
+    assert!(snap
+        .thread_names
+        .iter()
+        .any(|(tid, name)| *tid == task_rec.thread && name == "test-worker"));
+    let trace =
+        obskit::chrome::chrome_trace_named(&snap.span_records, &snap.events, &snap.thread_names);
+    assert!(trace.contains("thread_name"), "{trace}");
+    assert!(trace.contains("test-worker"), "{trace}");
 
     // Events: the progress! line and the explicit event, in order.
     let names: Vec<&str> = snap.events.iter().map(|e| e.name.as_str()).collect();

@@ -1,0 +1,87 @@
+//! Per-worker work-stealing deques.
+//!
+//! Each worker owns one deque and follows the Chase–Lev discipline: the
+//! owner pushes and pops at the *bottom* (LIFO, so freshly spawned
+//! subtasks stay cache-hot), thieves steal from the *top* (FIFO, so they
+//! take the oldest — usually largest — pending unit of work). The
+//! original Chase–Lev structure is a lock-free growable ring; this
+//! workspace is zero-dependency and its parallel sections are coarse
+//! (one task ≈ one formal-verification pass, ~milliseconds), so a short
+//! critical section around a `VecDeque` gives the same scheduling
+//! behavior with none of the unsafe memory-reclamation machinery. The
+//! mutex is never held while a task runs.
+
+use crate::pool::Task;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One worker's deque. Owner operates on the bottom, thieves on the top.
+#[derive(Default)]
+pub(crate) struct WorkerDeque {
+    inner: Mutex<VecDeque<Task>>,
+}
+
+/// Locks a deque, recovering from a poisoned mutex: the queue itself is
+/// always in a consistent state (push/pop are single operations), so a
+/// panicking task on another thread must not wedge the whole pool.
+fn lock(inner: &Mutex<VecDeque<Task>>) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+    match inner.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl WorkerDeque {
+    /// Owner push: bottom of the deque.
+    pub(crate) fn push(&self, task: Task) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Owner pop: bottom of the deque (LIFO — newest first).
+    pub(crate) fn pop(&self) -> Option<Task> {
+        lock(&self.inner).pop_back()
+    }
+
+    /// Thief steal: top of the deque (FIFO — oldest first).
+    pub(crate) fn steal(&self) -> Option<Task> {
+        lock(&self.inner).pop_front()
+    }
+
+    /// Number of queued tasks (snapshot; may be stale immediately).
+    pub(crate) fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(v: &std::sync::Arc<std::sync::Mutex<Vec<u32>>>, n: u32) -> Task {
+        let v = v.clone();
+        Box::new(move || {
+            if let Ok(mut v) = v.lock() {
+                v.push(n);
+            }
+        })
+    }
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let d = WorkerDeque::default();
+        d.push(boxed(&log, 1));
+        d.push(boxed(&log, 2));
+        d.push(boxed(&log, 3));
+        assert_eq!(d.len(), 3);
+
+        // A thief takes the oldest task; the owner the newest.
+        let stolen = d.steal().expect("non-empty");
+        let popped = d.pop().expect("non-empty");
+        stolen();
+        popped();
+        let order = log.lock().expect("log lock").clone();
+        assert_eq!(order, vec![1, 3]);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -41,5 +41,5 @@ pub mod tape;
 mod tokenizer;
 
 pub use model::{AdaptMode, CondLm, GradBuffer, LmConfig, LmError, SampleOptions};
-pub use pretrain_mod::{pretrain, PretrainOptions, PretrainStats};
+pub use pretrain_mod::{pretrain, pretrain_in, PretrainOptions, PretrainStats};
 pub use tokenizer::{Token, Tokenizer, BOS, EOS};
