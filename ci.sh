@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, tests, the speclint static-analysis
 # pass over the shipped rule books, controllers and step lists, the
-# certkit certification + explicit-vs-symbolic differential suite, and
-# an instrumented bench smoke run validated against the obskit.bench.v1
-# report schema (metrics_check).
+# certkit certification + explicit-vs-symbolic differential suite, an
+# instrumented bench smoke run validated against the obskit.bench.v1
+# report schema (metrics_check), and byte-equality gates proving the
+# performance knobs (--threads, DPO ref cache) never change artifacts.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -29,17 +30,24 @@ echo "==> obskit smoke gate (instrumented 2-thread bench run + schema check)"
 smoke_report="$(mktemp -t BENCH_smoke.XXXXXX.json)"
 smoke_art1="$(mktemp -t headline_t1.XXXXXX.json)"
 smoke_art2="$(mktemp -t headline_t2.XXXXXX.json)"
-trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2"' EXIT
+smoke_art3="$(mktemp -t headline_norefcache.XXXXXX.json)"
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3"' EXIT
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --threads 2 --metrics-out "$smoke_report" \
     --artifacts-out "$smoke_art2" > /dev/null
 cargo run -q --release -p bench --bin metrics_check -- "$smoke_report" \
-    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses \
-    --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval,pipeline.score_batch,pipeline.score
+    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses \
+    --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval,pipeline.score_batch,pipeline.score,dpo.ref,dpo.epoch,dpo.forward,dpo.backward
 
 echo "==> parallel determinism gate (headline artifacts, --threads 1 vs 2)"
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --no-obs --threads 1 --artifacts-out "$smoke_art1" > /dev/null
 cmp "$smoke_art1" "$smoke_art2"
+
+echo "==> ref-cache exactness gate (headline artifacts, cache on vs off)"
+cargo run -q --release -p bench --bin headline -- \
+    --fast --quiet --no-obs --threads 1 --no-ref-cache \
+    --artifacts-out "$smoke_art3" > /dev/null
+cmp "$smoke_art1" "$smoke_art3"
 
 echo "ci: all gates passed"

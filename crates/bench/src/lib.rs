@@ -44,9 +44,11 @@ use std::time::Instant;
 /// | `--quiet`            | drop the stderr progress sink, keep recording |
 /// | `--threads <n>`      | scoring fan-out width (0/omitted = `PARKIT_THREADS` or the machine) |
 /// | `--no-cache`         | disable the verification memo-cache |
+/// | `--no-ref-cache`     | disable the DPO reference-logprob cache |
 ///
-/// `--threads` and `--no-cache` are pure performance knobs — results are
-/// byte-identical whatever you pass (see DESIGN.md §8).
+/// `--threads`, `--no-cache` and `--no-ref-cache` are pure performance
+/// knobs — results are byte-identical whatever you pass (see DESIGN.md
+/// §8–§9).
 ///
 /// [`BenchCli::parse`] enables the global `obskit` recorder (unless
 /// `--no-obs`), and [`BenchCli::finish`] snapshots it and writes the
@@ -67,6 +69,9 @@ pub struct BenchCli {
     pub threads: usize,
     /// `--no-cache` was passed: disable verification memoization.
     pub no_cache: bool,
+    /// `--no-ref-cache` was passed: disable the DPO reference-logprob
+    /// cache (recompute reference forwards per pair visit).
+    pub no_ref_cache: bool,
     /// The raw argument list (recorded in the report for provenance).
     pub args: Vec<String>,
     started: Instant,
@@ -89,6 +94,7 @@ impl BenchCli {
             no_obs: false,
             threads: 0,
             no_cache: false,
+            no_ref_cache: false,
             args: args.clone(),
             started: Instant::now(),
         };
@@ -100,6 +106,7 @@ impl BenchCli {
                 "--no-obs" => cli.no_obs = true,
                 "--quiet" => quiet = true,
                 "--no-cache" => cli.no_cache = true,
+                "--no-ref-cache" => cli.no_ref_cache = true,
                 "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
                 "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
                 "--threads" => {
@@ -157,6 +164,7 @@ impl BenchCli {
         let mut cfg = pipeline_config(self.fast);
         cfg.threads = self.threads;
         cfg.verify_cache = !self.no_cache;
+        cfg.ref_cache = !self.no_ref_cache;
         cfg
     }
 }
@@ -235,6 +243,7 @@ mod tests {
                 "--threads",
                 "4",
                 "--no-cache",
+                "--no-ref-cache",
                 "--seeds=3", // unknown flags are left for the binary
             ]
             .map(str::to_owned)
@@ -253,17 +262,20 @@ mod tests {
         );
         assert_eq!(cli.threads, 4);
         assert!(cli.no_cache);
-        assert_eq!(cli.args.len(), 10);
+        assert!(cli.no_ref_cache);
+        assert_eq!(cli.args.len(), 11);
 
         // The performance knobs land in the pipeline configuration.
         let cfg = cli.pipeline_config();
         assert_eq!(cfg.threads, 4);
         assert!(!cfg.verify_cache);
+        assert!(!cfg.ref_cache);
         let defaults = BenchCli::from_args("headline", vec!["--no-obs".to_owned()]);
         assert_eq!(defaults.threads, 0);
         let cfg = defaults.pipeline_config();
         assert_eq!(cfg.threads, 0);
         assert!(cfg.verify_cache);
+        assert!(cfg.ref_cache);
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct PipelineConfig {
     /// responses skip synthesis and model checking. Never changes scores
     /// or certified counters; on by default.
     pub verify_cache: bool,
+    /// Precompute the frozen reference model's sequence log-probs once
+    /// per DPO phase instead of re-running the reference forward for
+    /// every pair visit. Exact memoization of a pure function — training
+    /// trajectories and artifacts are byte-identical either way (see
+    /// DESIGN.md §9); on by default.
+    pub ref_cache: bool,
 }
 
 /// The source of the automated ranking signal.
@@ -142,6 +148,7 @@ impl Default for PipelineConfig {
             certified: false,
             threads: 0,
             verify_cache: true,
+            ref_cache: true,
         }
     }
 }
@@ -573,6 +580,9 @@ impl DpoAf {
             "pool.steals",
             "verify.cache_hits",
             "verify.cache_misses",
+            "dpo.ref_cache_hits",
+            "tape.nodes",
+            "tape.grad_buffer_reuses",
         ] {
             obskit::counter_add(name, 0);
         }
@@ -580,7 +590,7 @@ impl DpoAf {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pretrained = self.pretrained_lm(&mut rng);
 
-        let trainer = DpoTrainer::new(self.config.train);
+        let trainer = DpoTrainer::new(self.config.train).with_ref_cache(self.config.ref_cache);
         let train_tasks = self.training_tasks();
         let val_tasks = self.config.validation_tasks.clone();
         let mut evals = Vec::new();
@@ -624,16 +634,23 @@ impl DpoAf {
                 let evals = &mut evals;
                 let eval_rng = &mut eval_rng;
                 trainer
-                    .train(&mut policy, &reference, &dataset, &mut rng, |epoch, lm| {
-                        let global = base + epoch + 1;
-                        if global % every == 0 {
-                            evals.push(CheckpointEval {
-                                epoch: global,
-                                train_score: self.evaluate(lm, &train_tasks, eval_rng),
-                                val_score: self.evaluate(lm, &val_tasks, eval_rng),
-                            });
-                        }
-                    })
+                    .train_in(
+                        &mut policy,
+                        &reference,
+                        &dataset,
+                        &mut rng,
+                        |epoch, lm| {
+                            let global = base + epoch + 1;
+                            if global % every == 0 {
+                                evals.push(CheckpointEval {
+                                    epoch: global,
+                                    train_score: self.evaluate(lm, &train_tasks, eval_rng),
+                                    val_score: self.evaluate(lm, &val_tasks, eval_rng),
+                                });
+                            }
+                        },
+                        Some(&self.pool),
+                    )
                     .expect("dataset uses model vocabulary")
             };
             epoch_base += stats.len();

@@ -36,5 +36,5 @@ mod loss;
 mod trainer;
 
 pub use data::{PreferenceDataset, PreferencePair};
-pub use loss::{dpo_loss_grad, eval_pair, ipo_loss_grad, PairEval};
+pub use loss::{dpo_loss_grad, dpo_loss_grad_with_ref, eval_pair, ipo_loss_grad, PairEval};
 pub use trainer::{DpoTrainer, EpochStats, TrainOptions};

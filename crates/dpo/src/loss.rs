@@ -1,6 +1,6 @@
 use crate::PreferencePair;
 use serde::{Deserialize, Serialize};
-use tinylm::{CondLm, GradBuffer, LmError};
+use tinylm::{CondLm, GradBuffer, LmError, SeqWorkspace};
 
 /// Loss and metrics of one pair at the current parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,32 +55,94 @@ pub fn dpo_loss_grad(
     pair: &PreferencePair,
     beta: f32,
 ) -> Result<(PairEval, GradBuffer), LmError> {
-    let (lp_w, grad_w) = policy.log_prob_grad(pair.task, &pair.winner)?;
-    let (lp_l, grad_l) = policy.log_prob_grad(pair.task, &pair.loser)?;
     let ref_w = reference.log_prob(pair.task, &pair.winner)?;
     let ref_l = reference.log_prob(pair.task, &pair.loser)?;
+    dpo_loss_grad_with_ref(policy, pair, ref_w, ref_l, beta)
+}
 
-    let margin = (lp_w - ref_w) - (lp_l - ref_l);
-    let z = beta * margin;
-    // loss = −log σ(z), computed stably.
-    let loss = (-z).max(0.0) + (-(z.abs())).exp().ln_1p();
-    // dloss/dz = −σ(−z)
-    let sig_neg = 1.0 / (1.0 + z.exp());
-    let coeff = -beta * sig_neg;
+/// [`dpo_loss_grad`] with the frozen reference's sequence log-likelihoods
+/// already known.
+///
+/// The reference model never changes during a [`crate::DpoTrainer::train`]
+/// call, so `reference.log_prob(task, y)` is a pure function of the pair —
+/// precomputing it once per training run and passing the same `f32`s here
+/// is *exact* memoization: every downstream float operation sees identical
+/// inputs, and results are bit-identical to [`dpo_loss_grad`].
+///
+/// # Errors
+///
+/// Returns [`LmError`] if the pair references unknown tasks or tokens.
+pub fn dpo_loss_grad_with_ref(
+    policy: &CondLm,
+    pair: &PreferencePair,
+    ref_w: f32,
+    ref_l: f32,
+    beta: f32,
+) -> Result<(PairEval, GradBuffer), LmError> {
+    pair_grad_under(policy, pair, ref_w, ref_l, beta, None)
+}
 
-    let mut grad = grad_w;
-    grad.scale(coeff);
-    grad.add_scaled(&grad_l, -coeff);
+/// Opens a span under an explicit cross-thread parent when one is given,
+/// or under the ambient thread-local parent otherwise.
+fn maybe_span_under(name: &str, under: Option<obskit::Handoff>) -> obskit::Span {
+    match under {
+        Some(h) => obskit::span_under(name, h),
+        None => obskit::span(name),
+    }
+}
 
-    let correct = if lp_w > lp_l { 1.0 } else { 0.0 };
-    Ok((
-        PairEval {
-            loss,
-            correct,
-            margin,
-        },
-        grad,
-    ))
+/// The shared pair-gradient body: batched winner/loser graphs on one
+/// recycled workspace tape, with `dpo.forward` / `dpo.backward` child
+/// spans (parented under `under` so pooled workers attach to the epoch
+/// span).
+pub(crate) fn pair_grad_under(
+    policy: &CondLm,
+    pair: &PreferencePair,
+    ref_w: f32,
+    ref_l: f32,
+    beta: f32,
+    under: Option<obskit::Handoff>,
+) -> Result<(PairEval, GradBuffer), LmError> {
+    SeqWorkspace::with_tls(|ws| {
+        ws.reset();
+        let (graph_w, graph_l) = {
+            let _s = maybe_span_under("dpo.forward", under);
+            (
+                policy.seq_forward_in(pair.task, &pair.winner, ws)?,
+                policy.seq_forward_in(pair.task, &pair.loser, ws)?,
+            )
+        };
+        let (lp_w, lp_l) = (graph_w.value(), graph_l.value());
+        let (grad_w, grad_l) = {
+            let _s = maybe_span_under("dpo.backward", under);
+            (
+                policy.seq_grad_in(&graph_w, ws),
+                policy.seq_grad_in(&graph_l, ws),
+            )
+        };
+
+        let margin = (lp_w - ref_w) - (lp_l - ref_l);
+        let z = beta * margin;
+        // loss = −log σ(z), computed stably.
+        let loss = (-z).max(0.0) + (-(z.abs())).exp().ln_1p();
+        // dloss/dz = −σ(−z)
+        let sig_neg = 1.0 / (1.0 + z.exp());
+        let coeff = -beta * sig_neg;
+
+        let mut grad = grad_w;
+        grad.scale(coeff);
+        grad.add_scaled(&grad_l, -coeff);
+
+        let correct = if lp_w > lp_l { 1.0 } else { 0.0 };
+        Ok((
+            PairEval {
+                loss,
+                correct,
+                margin,
+            },
+            grad,
+        ))
+    })
 }
 
 /// Computes the **IPO** loss (Azar et al., 2023) and its gradient for one

@@ -1,4 +1,4 @@
-use crate::loss::dpo_loss_grad;
+use crate::loss::pair_grad_under;
 use crate::{PairEval, PreferenceDataset};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -56,12 +56,29 @@ pub struct EpochStats {
 pub struct DpoTrainer {
     /// Hyperparameters.
     pub options: TrainOptions,
+    /// Precompute the frozen reference's per-pair sequence logprobs once
+    /// per [`DpoTrainer::train`] call instead of re-running the reference
+    /// forward for every pair in every epoch. The reference never changes
+    /// during training, so this is exact memoization — results are
+    /// bit-identical either way. Defaults to on; turning it off exists
+    /// for the equivalence tests and CI byte-equality gate.
+    pub ref_cache: bool,
 }
 
 impl DpoTrainer {
-    /// Creates a trainer.
+    /// Creates a trainer (reference-logprob cache enabled).
     pub fn new(options: TrainOptions) -> Self {
-        DpoTrainer { options }
+        DpoTrainer {
+            options,
+            ref_cache: true,
+        }
+    }
+
+    /// Returns this trainer with the reference-logprob cache toggled.
+    #[must_use]
+    pub fn with_ref_cache(mut self, on: bool) -> Self {
+        self.ref_cache = on;
+        self
     }
 
     /// Fine-tunes `policy` in place against the frozen `reference`.
@@ -84,13 +101,72 @@ impl DpoTrainer {
         reference: &CondLm,
         dataset: &PreferenceDataset,
         rng: &mut impl Rng,
+        checkpoint: impl FnMut(usize, &CondLm),
+    ) -> Result<Vec<EpochStats>, LmError> {
+        self.train_in(policy, reference, dataset, rng, checkpoint, None)
+    }
+
+    /// [`DpoTrainer::train`] with per-pair gradient computations fanned
+    /// out over `pool` (when given and wider than one thread), mirroring
+    /// `tinylm::pretrain_in`.
+    ///
+    /// Parallelism never changes the math: the RNG-driven epoch shuffle
+    /// stays sequential, per-pair gradients are pure functions of the
+    /// frozen pre-step parameters, and the batch reduction folds results
+    /// **in batch order** — the same float additions in the same order as
+    /// the sequential loop, so trained weights are byte-identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError`] if the dataset references tasks or tokens the
+    /// models do not know.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train_in(
+        &self,
+        policy: &mut CondLm,
+        reference: &CondLm,
+        dataset: &PreferenceDataset,
+        rng: &mut impl Rng,
         mut checkpoint: impl FnMut(usize, &CondLm),
+        pool: Option<&parkit::ThreadPool>,
     ) -> Result<Vec<EpochStats>, LmError> {
         assert!(!dataset.is_empty(), "preference dataset must be non-empty");
         let opts = self.options;
+        let started = std::time::Instant::now();
         let mut adam = Adam::new(opts.lr, policy.params().len());
         let mut stats = Vec::with_capacity(opts.epochs);
         let mut indices: Vec<usize> = (0..dataset.len()).collect();
+
+        // Frozen-reference memoization: the reference's sequence
+        // logprobs are pure functions of each pair, so computing them
+        // once here and reusing the same f32s every epoch is exact —
+        // ~one reference forward per pair total instead of one per pair
+        // per epoch. Register the hit counter up front so metrics
+        // reports always carry it.
+        obskit::counter_add("dpo.ref_cache_hits", 0);
+        let ref_lps: Option<Vec<(f32, f32)>> = if self.ref_cache {
+            let _s = obskit::span("dpo.ref");
+            Some(
+                dataset
+                    .pairs
+                    .iter()
+                    .map(|p| {
+                        Ok((
+                            reference.log_prob(p.task, &p.winner)?,
+                            reference.log_prob(p.task, &p.loser)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, LmError>>()?,
+            )
+        } else {
+            None
+        };
+
+        let mut tokens_seen = 0u64;
         for epoch in 0..opts.epochs {
             indices.shuffle(rng);
             let take = opts
@@ -99,21 +175,54 @@ impl DpoTrainer {
                 .min(dataset.len());
             let epoch_pairs = &indices[..take];
 
+            // Scoped so the epoch span closes before the checkpoint
+            // callback — checkpoint evals must not nest under it.
             let mut sum = PairEval {
                 loss: 0.0,
                 correct: 0.0,
                 margin: 0.0,
             };
-            for batch in epoch_pairs.chunks(opts.batch_size) {
-                let mut grad = GradBuffer::zeros(policy);
-                for &i in batch {
-                    let (eval, g) = dpo_loss_grad(policy, reference, &dataset.pairs[i], opts.beta)?;
-                    sum.loss += eval.loss;
-                    sum.correct += eval.correct;
-                    sum.margin += eval.margin;
-                    grad.add_scaled(&g, 1.0 / batch.len() as f32);
+            {
+                let epoch_span = obskit::span("dpo.epoch");
+                let under = Some(epoch_span.handoff());
+                let pair_grad = |i: usize, policy: &CondLm| {
+                    let pair = &dataset.pairs[i];
+                    let (ref_w, ref_l) = match &ref_lps {
+                        Some(cache) => {
+                            obskit::counter_add("dpo.ref_cache_hits", 2);
+                            cache[i]
+                        }
+                        None => (
+                            reference.log_prob(pair.task, &pair.winner)?,
+                            reference.log_prob(pair.task, &pair.loser)?,
+                        ),
+                    };
+                    pair_grad_under(policy, pair, ref_w, ref_l, opts.beta, under)
+                };
+                for batch in epoch_pairs.chunks(opts.batch_size) {
+                    let mut grad = GradBuffer::zeros(policy);
+                    let per_pair: Vec<(PairEval, GradBuffer)> = match pool {
+                        Some(pool) if pool.threads() > 1 => {
+                            let frozen: &CondLm = policy;
+                            pool.map(batch, |_, &i| pair_grad(i, frozen))
+                                .into_iter()
+                                .collect::<Result<Vec<_>, LmError>>()?
+                        }
+                        _ => batch
+                            .iter()
+                            .map(|&i| pair_grad(i, policy))
+                            .collect::<Result<Vec<_>, LmError>>()?,
+                    };
+                    for (&i, (eval, g)) in batch.iter().zip(&per_pair) {
+                        let pair = &dataset.pairs[i];
+                        tokens_seen += (pair.winner.len() + pair.loser.len() + 2) as u64;
+                        sum.loss += eval.loss;
+                        sum.correct += eval.correct;
+                        sum.margin += eval.margin;
+                        grad.add_scaled(g, 1.0 / batch.len() as f32);
+                    }
+                    adam.step(policy.params_mut(), &grad.0);
                 }
-                adam.step(policy.params_mut(), &grad.0);
             }
             let n = epoch_pairs.len() as f32;
             let epoch_stats = EpochStats {
@@ -134,6 +243,12 @@ impl DpoTrainer {
             );
             stats.push(epoch_stats);
             checkpoint(epoch, policy);
+        }
+        if obskit::enabled() {
+            let secs = started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                obskit::gauge_set("dpo.tokens_per_sec", tokens_seen as f64 / secs);
+            }
         }
         Ok(stats)
     }
@@ -254,6 +369,82 @@ mod tests {
         assert_eq!(s1, s2);
         let (_, s3) = run(8);
         assert_ne!(s1, s3, "different seeds should differ (data order)");
+    }
+
+    /// Heterogeneous dataset used by the equivalence tests.
+    fn varied_dataset() -> (CondLm, CondLm, PreferenceDataset) {
+        let (policy, reference, mut ds) = setup();
+        for t in 0..9u32 {
+            ds.push(PreferencePair {
+                task: (t % 2) as usize,
+                winner: vec![3 + (t % 5), 4, 5 + (t % 3)],
+                loser: vec![8, 7 - (t % 3), 6, 3 + (t % 4)],
+            });
+        }
+        (policy, reference, ds)
+    }
+
+    /// The reference-logprob cache is exact memoization: per-epoch stats
+    /// and final weights are bit-identical with it on or off.
+    #[test]
+    fn ref_cache_is_bit_exact() {
+        let (policy0, reference, ds) = varied_dataset();
+        let opts = TrainOptions {
+            epochs: 4,
+            pairs_per_epoch: Some(6),
+            batch_size: 4,
+            ..TrainOptions::default()
+        };
+        let run = |cache: bool| {
+            let trainer = DpoTrainer::new(opts).with_ref_cache(cache);
+            let mut p = policy0.clone();
+            let mut rng = StdRng::seed_from_u64(13);
+            let stats = trainer
+                .train(&mut p, &reference, &ds, &mut rng, |_, _| {})
+                .unwrap();
+            (p, stats)
+        };
+        let (p_on, s_on) = run(true);
+        let (p_off, s_off) = run(false);
+        assert_eq!(s_on, s_off, "EpochStats must not change with the cache");
+        assert_eq!(
+            p_on.params(),
+            p_off.params(),
+            "weights must be bit-identical"
+        );
+    }
+
+    /// Pooled pair gradients reduce in batch order, so training is
+    /// byte-identical at any thread count.
+    #[test]
+    fn pooled_training_is_bit_identical() {
+        let (policy0, reference, ds) = varied_dataset();
+        let opts = TrainOptions {
+            epochs: 3,
+            pairs_per_epoch: Some(8),
+            batch_size: 4,
+            ..TrainOptions::default()
+        };
+        let trainer = DpoTrainer::new(opts);
+        let run = |pool: Option<&parkit::ThreadPool>| {
+            let mut p = policy0.clone();
+            let mut rng = StdRng::seed_from_u64(21);
+            let stats = trainer
+                .train_in(&mut p, &reference, &ds, &mut rng, |_, _| {}, pool)
+                .unwrap();
+            (p, stats)
+        };
+        let (p_serial, s_serial) = run(None);
+        for threads in [2, 4] {
+            let pool = parkit::ThreadPool::new(threads);
+            let (p_pooled, s_pooled) = run(Some(&pool));
+            assert_eq!(
+                p_serial.params(),
+                p_pooled.params(),
+                "weights diverged at {threads} threads"
+            );
+            assert_eq!(s_serial, s_pooled);
+        }
     }
 
     #[test]

@@ -40,6 +40,8 @@ mod pretrain_mod;
 pub mod tape;
 mod tokenizer;
 
-pub use model::{AdaptMode, CondLm, GradBuffer, LmConfig, LmError, SampleOptions};
+pub use model::{
+    AdaptMode, CondLm, GradBuffer, LmConfig, LmError, SampleOptions, SeqGraph, SeqWorkspace,
+};
 pub use pretrain_mod::{pretrain, pretrain_in, PretrainOptions, PretrainStats};
 pub use tokenizer::{Token, Tokenizer, BOS, EOS};

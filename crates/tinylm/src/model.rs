@@ -1,7 +1,8 @@
-use crate::tape::Tape;
+use crate::tape::{dot, GradArena, Tape};
 use crate::tokenizer::{Token, BOS, EOS};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::Range;
 
@@ -119,6 +120,103 @@ impl GradBuffer {
     /// Euclidean norm (useful for clipping and diagnostics).
     pub fn norm(&self) -> f32 {
         self.0.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// Reusable buffers for sequence scoring and gradients: a recyclable
+/// [`Tape`] plus a [`GradArena`], so the hot training loop stops paying
+/// an allocation storm per sequence. [`CondLm::log_prob_grad`] uses a
+/// thread-local workspace automatically; hot loops that want explicit
+/// control can hold one and call [`CondLm::log_prob_grad_in`].
+#[derive(Debug, Default)]
+pub struct SeqWorkspace {
+    tape: Tape,
+    arena: GradArena,
+}
+
+impl SeqWorkspace {
+    /// A fresh workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with this thread's shared workspace.
+    pub fn with_tls<R>(f: impl FnOnce(&mut SeqWorkspace) -> R) -> R {
+        thread_local! {
+            static WS: RefCell<SeqWorkspace> = RefCell::new(SeqWorkspace::new());
+        }
+        WS.with(|ws| f(&mut ws.borrow_mut()))
+    }
+
+    /// Clears the tape for a new round of [`CondLm::seq_forward_in`]
+    /// graphs (value and gradient buffers are recycled, not freed).
+    pub fn reset(&mut self) {
+        self.tape.reset();
+    }
+}
+
+/// Handles into a sequence graph built by [`CondLm::seq_forward_in`]:
+/// the sequence log-likelihood plus the leaf nodes
+/// [`CondLm::seq_grad_in`] needs to scatter gradients back into the flat
+/// parameter layout.
+#[derive(Debug, Clone)]
+pub struct SeqGraph {
+    value: f32,
+    root: crate::tape::VarId,
+    w1: crate::tape::VarId,
+    b1: crate::tape::VarId,
+    w2: crate::tape::VarId,
+    b2: crate::tape::VarId,
+    task: usize,
+    task_leaf: crate::tape::VarId,
+    tok_table: crate::tape::VarId,
+    lora: Option<(
+        crate::tape::VarId,
+        crate::tape::VarId,
+        crate::tape::VarId,
+        crate::tape::VarId,
+    )>,
+}
+
+impl SeqGraph {
+    /// The sequence log-likelihood `log P(response, EOS | task)`.
+    pub fn value(&self) -> f32 {
+        self.value
+    }
+}
+
+/// Adds `scale · A·B` (`A`: `rows×rank`, `B`: `rank×cols`) into the
+/// row-major `rows×cols` matrix `w`.
+///
+/// `B` is transposed into a scratch buffer once so every `(r, c)` entry
+/// is a contiguous [`dot`] over `k` — cache-friendly instead of striding
+/// `B` by `cols`, and bit-identical to the naive
+/// `for k { dot += a[r·rank+k] · b[k·cols+c] }` triple loop it replaced
+/// (same left-to-right fold over `k` from `0.0`).
+fn merge_lora(
+    w: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    scale: f32,
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(a.len(), rows * rank);
+    debug_assert_eq!(b.len(), rank * cols);
+    let mut b_t = vec![0.0f32; rank * cols];
+    for k in 0..rank {
+        for c in 0..cols {
+            b_t[c * rank + k] = b[k * cols + c];
+        }
+    }
+    for r in 0..rows {
+        let a_row = &a[r * rank..(r + 1) * rank];
+        let w_row = &mut w[r * cols..(r + 1) * cols];
+        for (c, w_rc) in w_row.iter_mut().enumerate() {
+            *w_rc += scale * dot(a_row, &b_t[c * rank..(c + 1) * rank]);
+        }
     }
 }
 
@@ -335,19 +433,15 @@ impl CondLm {
             let AdaptMode::Lora { rank } = self.cfg.adapt else {
                 unreachable!("lora segments imply lora mode");
             };
-            let input = self.cfg.input_dim();
-            let h = self.cfg.hidden;
-            let a = &self.params[a1.clone()];
-            let b = &self.params[b1l.clone()];
-            for r in 0..h {
-                for c in 0..input {
-                    let mut dot = 0.0;
-                    for k in 0..rank {
-                        dot += a[r * rank + k] * b[k * input + c];
-                    }
-                    w[r * input + c] += self.cfg.lora_scale * dot;
-                }
-            }
+            merge_lora(
+                &mut w,
+                &self.params[a1.clone()],
+                &self.params[b1l.clone()],
+                self.cfg.hidden,
+                self.cfg.input_dim(),
+                rank,
+                self.cfg.lora_scale,
+            );
         }
         w
     }
@@ -359,19 +453,15 @@ impl CondLm {
             let AdaptMode::Lora { rank } = self.cfg.adapt else {
                 unreachable!("lora segments imply lora mode");
             };
-            let h = self.cfg.hidden;
-            let v = self.cfg.vocab_size;
-            let a = &self.params[a2.clone()];
-            let b = &self.params[b2l.clone()];
-            for r in 0..v {
-                for c in 0..h {
-                    let mut dot = 0.0;
-                    for k in 0..rank {
-                        dot += a[r * rank + k] * b[k * h + c];
-                    }
-                    w[r * h + c] += self.cfg.lora_scale * dot;
-                }
-            }
+            merge_lora(
+                &mut w,
+                &self.params[a2.clone()],
+                &self.params[b2l.clone()],
+                self.cfg.vocab_size,
+                self.cfg.hidden,
+                rank,
+                self.cfg.lora_scale,
+            );
         }
         w
     }
@@ -387,9 +477,26 @@ impl CondLm {
     ///
     /// Panics if `ctx.len() != config().context`.
     pub fn next_log_probs(&self, task: usize, ctx: &[Token]) -> Result<Vec<f32>, LmError> {
-        assert_eq!(ctx.len(), self.cfg.context, "context length mismatch");
         self.check_task(task)?;
         self.check_tokens(ctx)?;
+        Ok(self.next_log_probs_merged(&self.w1_eff(), &self.w2_eff(), task, ctx))
+    }
+
+    /// [`CondLm::next_log_probs`] with the effective weights already
+    /// merged — lets sequence scoring pay the LoRA merge once instead of
+    /// once per position. Callers must have validated `task`/`ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.len() != config().context`.
+    fn next_log_probs_merged(
+        &self,
+        w1: &[f32],
+        w2: &[f32],
+        task: usize,
+        ctx: &[Token],
+    ) -> Vec<f32> {
+        assert_eq!(ctx.len(), self.cfg.context, "context length mismatch");
         let input = self.cfg.input_dim();
         let h = self.cfg.hidden;
         let v = self.cfg.vocab_size;
@@ -399,14 +506,12 @@ impl CondLm {
         for &t in ctx {
             x.extend_from_slice(self.tok_row(t));
         }
-        let w1 = self.w1_eff();
         let b1 = &self.params[self.seg.b1.clone()];
         let mut hid = vec![0.0f32; h];
         for (r, hid_r) in hid.iter_mut().enumerate() {
             let row = &w1[r * input..(r + 1) * input];
             *hid_r = (row.iter().zip(&x).map(|(a, b)| a * b).sum::<f32>() + b1[r]).tanh();
         }
-        let w2 = self.w2_eff();
         let b2 = &self.params[self.seg.b2.clone()];
         let mut logits = vec![0.0f32; v];
         for (r, logit) in logits.iter_mut().enumerate() {
@@ -418,7 +523,7 @@ impl CondLm {
         for l in &mut logits {
             *l -= log_z;
         }
-        Ok(logits)
+        logits
     }
 
     /// Builds the padded context windows and targets for scoring a
@@ -442,9 +547,14 @@ impl CondLm {
     pub fn log_prob(&self, task: usize, response: &[Token]) -> Result<f32, LmError> {
         self.check_task(task)?;
         self.check_tokens(response)?;
+        // Merge the LoRA deltas once for the whole sequence; the
+        // per-position arithmetic is unchanged, so values are identical
+        // to calling `next_log_probs` per position.
+        let w1 = self.w1_eff();
+        let w2 = self.w2_eff();
         let mut total = 0.0;
         for (ctx, target) in self.positions(response) {
-            let lp = self.next_log_probs(task, &ctx)?;
+            let lp = self.next_log_probs_merged(&w1, &w2, task, &ctx);
             total += lp[target as usize];
         }
         Ok(total)
@@ -453,13 +563,194 @@ impl CondLm {
     /// Sequence log-likelihood and its gradient with respect to the full
     /// parameter vector (frozen entries zeroed per [`AdaptMode`]).
     ///
+    /// Uses this thread's shared [`SeqWorkspace`], so repeated calls
+    /// recycle tape and gradient buffers automatically.
+    ///
     /// # Errors
     ///
     /// Returns [`LmError`] for out-of-range ids.
+    pub fn log_prob_grad(
+        &self,
+        task: usize,
+        response: &[Token],
+    ) -> Result<(f32, GradBuffer), LmError> {
+        SeqWorkspace::with_tls(|ws| self.log_prob_grad_in(task, response, ws))
+    }
+
+    /// [`CondLm::log_prob_grad`] into an explicit workspace.
+    ///
+    /// The whole sequence is evaluated through the sequence-batched tape
+    /// ops ([`Tape::matmul`], [`Tape::bias_log_softmax`], …): one tape
+    /// node per layer instead of one per layer *per position*, with
+    /// buffers recycled across calls. Values and gradients are
+    /// bit-identical to the per-position graph — each batched op keeps
+    /// the per-output accumulation order of its unbatched counterpart
+    /// (see the op docs in [`crate::tape`] and the
+    /// `batched_grad_is_bitwise_equal_to_reference` property test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError`] for out-of-range ids.
+    pub fn log_prob_grad_in(
+        &self,
+        task: usize,
+        response: &[Token],
+        ws: &mut SeqWorkspace,
+    ) -> Result<(f32, GradBuffer), LmError> {
+        ws.reset();
+        let graph = self.seq_forward_in(task, response, ws)?;
+        let grad = self.seq_grad_in(&graph, ws);
+        Ok((graph.value, grad))
+    }
+
+    /// Builds the batched forward graph for one sequence on the
+    /// workspace tape and returns its handles. Several graphs may share
+    /// one tape (e.g. a DPO pair's winner and loser); call
+    /// [`SeqWorkspace::reset`] before the first of a round. Splitting
+    /// forward from [`CondLm::seq_grad_in`] lets callers time the two
+    /// phases separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError`] for out-of-range ids.
+    pub fn seq_forward_in(
+        &self,
+        task: usize,
+        response: &[Token],
+        ws: &mut SeqWorkspace,
+    ) -> Result<SeqGraph, LmError> {
+        self.check_task(task)?;
+        self.check_tokens(response)?;
+        let cfg = &self.cfg;
+        let input = cfg.input_dim();
+        let h = cfg.hidden;
+        let v = cfg.vocab_size;
+        let k = cfg.context;
+        let n = response.len() + 1;
+
+        // Packed context indices and targets, mirroring `positions`.
+        let mut padded = vec![BOS; k];
+        padded.extend_from_slice(response);
+        padded.push(EOS);
+        let mut indices = Vec::with_capacity(n * k);
+        let mut targets = Vec::with_capacity(n);
+        for t in 0..n {
+            indices.extend(padded[t..t + k].iter().map(|&tok| tok as usize));
+            targets.push(padded[t + k] as usize);
+        }
+
+        let tape = &mut ws.tape;
+        // Shared parameter leaves.
+        let w1 = tape.leaf_from(&self.params[self.seg.w1.clone()]);
+        let b1 = tape.leaf_from(&self.params[self.seg.b1.clone()]);
+        let w2 = tape.leaf_from(&self.params[self.seg.w2.clone()]);
+        let b2 = tape.leaf_from(&self.params[self.seg.b2.clone()]);
+        let task_leaf = tape.leaf_from(self.task_row(task));
+        let tok_table = tape.leaf_from(&self.params[self.seg.tok_emb.clone()]);
+        let lora_leaves = self.seg.lora.as_ref().map(|(a1, b1l, a2, b2l)| {
+            (
+                tape.leaf_from(&self.params[a1.clone()]),
+                tape.leaf_from(&self.params[b1l.clone()]),
+                tape.leaf_from(&self.params[a2.clone()]),
+                tape.leaf_from(&self.params[b2l.clone()]),
+            )
+        });
+        let rank = match cfg.adapt {
+            AdaptMode::Lora { rank } => rank,
+            AdaptMode::Full => 0,
+        };
+
+        let x = tape.pack_inputs(task_leaf, tok_table, cfg.token_dim, k, indices);
+        let mut pre = tape.matmul(w1, h, input, x, n);
+        if let Some((a1, b1l, _, _)) = lora_leaves {
+            let bx = tape.matmul(b1l, rank, input, x, n);
+            let abx = tape.matmul(a1, h, rank, bx, n);
+            let scaled = tape.scale(abx, cfg.lora_scale);
+            pre = tape.add(pre, scaled);
+        }
+        let pre_b = tape.broadcast_add(pre, b1, n);
+        let hid = tape.tanh(pre_b);
+        let mut logits = tape.matmul(w2, v, h, hid, n);
+        if let Some((_, _, a2, b2l)) = lora_leaves {
+            let bh = tape.matmul(b2l, rank, h, hid, n);
+            let abh = tape.matmul(a2, v, rank, bh, n);
+            let scaled = tape.scale(abh, cfg.lora_scale);
+            logits = tape.add(logits, scaled);
+        }
+        let ls = tape.bias_log_softmax(logits, b2, n);
+        let root = tape.gather_sum(ls, v, targets);
+        let value = tape.scalar(root);
+
+        if obskit::enabled() {
+            obskit::counter_add("tape.nodes", tape.len() as u64);
+        }
+        Ok(SeqGraph {
+            value,
+            root,
+            w1,
+            b1,
+            w2,
+            b2,
+            task,
+            task_leaf,
+            tok_table,
+            lora: lora_leaves,
+        })
+    }
+
+    /// Backpropagates through a graph built by [`CondLm::seq_forward_in`]
+    /// and scatters leaf gradients into the flat parameter layout
+    /// (frozen entries zeroed per [`AdaptMode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` did not come from this workspace's tape.
+    pub fn seq_grad_in(&self, graph: &SeqGraph, ws: &mut SeqWorkspace) -> GradBuffer {
+        let reuses_before = ws.arena.reuses();
+        ws.tape.backward_into(graph.root, &mut ws.arena);
+        if obskit::enabled() {
+            obskit::counter_add("tape.grad_buffer_reuses", ws.arena.reuses() - reuses_before);
+        }
+
+        // Scatter into the flat layout.
+        let arena = &ws.arena;
+        let mut grad = vec![0.0f32; self.params.len()];
+        grad[self.seg.w1.clone()].copy_from_slice(arena.grad(graph.w1));
+        grad[self.seg.b1.clone()].copy_from_slice(arena.grad(graph.b1));
+        grad[self.seg.w2.clone()].copy_from_slice(arena.grad(graph.w2));
+        grad[self.seg.b2.clone()].copy_from_slice(arena.grad(graph.b2));
+        grad[self.seg.tok_emb.clone()].copy_from_slice(arena.grad(graph.tok_table));
+        {
+            let d = self.cfg.task_dim;
+            let base = self.seg.task_emb.start + graph.task * d;
+            grad[base..base + d].copy_from_slice(arena.grad(graph.task_leaf));
+        }
+        if let (Some((a1r, b1r, a2r, b2r)), Some((a1, b1l, a2, b2l))) =
+            (self.seg.lora.clone(), graph.lora)
+        {
+            grad[a1r].copy_from_slice(arena.grad(a1));
+            grad[b1r].copy_from_slice(arena.grad(b1l));
+            grad[a2r].copy_from_slice(arena.grad(a2));
+            grad[b2r].copy_from_slice(arena.grad(b2l));
+        }
+
+        // Zero frozen entries.
+        let mask = self.trainable_mask();
+        for (g, m) in grad.iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        GradBuffer(grad)
+    }
+
+    /// The original per-position tape graph, kept as the bit-exactness
+    /// oracle for the batched path.
     // The position walk always visits at least the EOS slot, so `total`
     // is `Some` by construction; a panic here is a bug in this method.
+    #[cfg(test)]
     #[allow(clippy::expect_used)]
-    pub fn log_prob_grad(
+    fn log_prob_grad_reference(
         &self,
         task: usize,
         response: &[Token],
@@ -921,6 +1212,124 @@ mod tests {
         }
         // And the converted model trains only its adapters.
         assert!(lora.num_trainable() < lora.params().len());
+    }
+
+    /// Nonzero LoRA weights everywhere, so merge/gradient comparisons
+    /// exercise the adapter path for real.
+    fn perturbed_lora_model(seed: u64) -> CondLm {
+        let mut m = model(AdaptMode::Lora { rank: 2 }, seed);
+        for (i, p) in m.params_mut().iter_mut().enumerate() {
+            *p += ((i as f32 * 0.619).sin()) * 0.05;
+        }
+        m
+    }
+
+    #[test]
+    fn merge_lora_matches_naive_triple_loop() {
+        let m = perturbed_lora_model(30);
+        let Some((a1, b1l, _, _)) = &m.seg.lora else {
+            panic!("lora model");
+        };
+        let rank = 2;
+        let input = m.cfg.input_dim();
+        let h = m.cfg.hidden;
+        let a = &m.params[a1.clone()];
+        let b = &m.params[b1l.clone()];
+        let mut naive = m.params[m.seg.w1.clone()].to_vec();
+        for r in 0..h {
+            for c in 0..input {
+                let mut dot = 0.0;
+                for k in 0..rank {
+                    dot += a[r * rank + k] * b[k * input + c];
+                }
+                naive[r * input + c] += m.cfg.lora_scale * dot;
+            }
+        }
+        assert_eq!(m.w1_eff(), naive, "blocked merge must be bit-identical");
+    }
+
+    #[test]
+    fn log_prob_unchanged_by_hoisted_merge() {
+        // The hoisted-merge sequence path must equal per-position
+        // `next_log_probs` summation exactly.
+        let m = perturbed_lora_model(31);
+        let resp = vec![3, 7, 1, 4];
+        let manual: f32 = m
+            .positions(&resp)
+            .iter()
+            .map(|(ctx, tgt)| m.next_log_probs(1, ctx).unwrap()[*tgt as usize])
+            .sum();
+        assert_eq!(m.log_prob(1, &resp).unwrap().to_bits(), manual.to_bits());
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_exact() {
+        let m = perturbed_lora_model(32);
+        let mut ws = SeqWorkspace::new();
+        for resp in [vec![3, 4, 5], vec![1], vec![7, 7, 2, 2, 6], vec![]] {
+            let (v_ws, g_ws) = m.log_prob_grad_in(0, &resp, &mut ws).unwrap();
+            let (v_fresh, g_fresh) = m
+                .log_prob_grad_in(0, &resp, &mut SeqWorkspace::new())
+                .unwrap();
+            assert_eq!(v_ws.to_bits(), v_fresh.to_bits());
+            assert_eq!(g_ws, g_fresh);
+        }
+    }
+
+    /// Two graphs built on one tape (the DPO pair layout) must not
+    /// disturb each other: the first graph's gradient is bit-identical
+    /// whether or not a second graph was appended before backward.
+    /// Regression test — `seq_forward_in` once reset the tape itself,
+    /// silently aliasing the first graph's node ids into the second's.
+    #[test]
+    fn shared_tape_graphs_are_independent() {
+        let m = perturbed_lora_model(33);
+        let mut solo = SeqWorkspace::new();
+        let g_solo = m.seq_forward_in(1, &[3, 4, 5], &mut solo).unwrap();
+        let grad_solo = m.seq_grad_in(&g_solo, &mut solo);
+
+        let mut dual = SeqWorkspace::new();
+        let g_first = m.seq_forward_in(1, &[3, 4, 5], &mut dual).unwrap();
+        let g_second = m.seq_forward_in(1, &[6, 7], &mut dual).unwrap();
+        let grad_first = m.seq_grad_in(&g_first, &mut dual);
+        let grad_second = m.seq_grad_in(&g_second, &mut dual);
+
+        assert_eq!(g_solo.value().to_bits(), g_first.value().to_bits());
+        assert_eq!(grad_solo, grad_first);
+
+        let mut solo2 = SeqWorkspace::new();
+        let g_solo2 = m.seq_forward_in(1, &[6, 7], &mut solo2).unwrap();
+        let grad_solo2 = m.seq_grad_in(&g_solo2, &mut solo2);
+        assert_eq!(g_solo2.value().to_bits(), g_second.value().to_bits());
+        assert_eq!(grad_solo2, grad_second);
+    }
+
+    proptest::proptest! {
+        /// The batched sequence graph is bit-for-bit identical to the
+        /// original per-position graph: same value bits, same gradient
+        /// bits, for random sequences under both adapt modes.
+        #[test]
+        fn batched_grad_is_bitwise_equal_to_reference(
+            resp in proptest::collection::vec(0u32..10, 0..8),
+            task in 0usize..3,
+            lora in 0usize..2,
+            seed in 0u64..64,
+        ) {
+            let adapt = if lora == 1 { AdaptMode::Lora { rank: 2 } } else { AdaptMode::Full };
+            let mut m = model(adapt, seed);
+            for (i, p) in m.params_mut().iter_mut().enumerate() {
+                *p += ((i as f32 * 0.377 + seed as f32).sin()) * 0.05;
+            }
+            let (v_new, g_new) = m.log_prob_grad(task, &resp).unwrap();
+            let (v_ref, g_ref) = m.log_prob_grad_reference(task, &resp).unwrap();
+            proptest::prop_assert_eq!(v_new.to_bits(), v_ref.to_bits());
+            for (i, (a, b)) in g_new.0.iter().zip(&g_ref.0).enumerate() {
+                proptest::prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "grad[{}] differs: {} vs {}", i, a, b
+                );
+            }
+        }
     }
 
     #[test]
