@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, tests, the speclint static-analysis
 # pass over the shipped rule books, controllers and step lists, the
-# certkit certification + explicit-vs-symbolic differential suite, an
-# instrumented bench smoke run validated against the obskit.bench.v1
-# report schema (metrics_check), and byte-equality gates proving the
-# performance knobs (--threads, DPO ref cache) never change artifacts.
+# specsem semantic analysis of the rule books under their world models,
+# the unsafe-code audit, the certkit certification +
+# explicit-vs-symbolic differential suite, an instrumented bench smoke
+# run validated against the obskit.bench.v1 report schema
+# (metrics_check), and byte-equality gates proving the performance and
+# gating knobs (--threads, DPO ref cache, semantic pre-flight) never
+# change artifacts.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,6 +26,12 @@ cargo test -q --workspace
 echo "==> speclint --deny-warnings"
 cargo run -q -p speclint -- --deny-warnings
 
+echo "==> speclint --semantic --deny-warnings (SL3xx over shipped books)"
+cargo run -q --release -p speclint -- --semantic --deny-warnings
+
+echo "==> unsafe-code audit (every unsafe site carries a SAFETY comment)"
+cargo run -q --release -p bench --bin unsafe_audit -- --no-obs
+
 echo "==> certkit gate (certification + differential suite)"
 cargo run -q -p certkit --release
 
@@ -36,7 +45,7 @@ cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --threads 2 --metrics-out "$smoke_report" \
     --artifacts-out "$smoke_art2" > /dev/null
 cargo run -q --release -p bench --bin metrics_check -- "$smoke_report" \
-    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses \
+    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,verify.cache_entries,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses,speclint.semantic_rules,speclint.semantic_checks,speclint.semantic_errors,speclint.semantic_notes \
     --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval,pipeline.score_batch,pipeline.score,dpo.ref,dpo.epoch,dpo.forward,dpo.backward
 
 echo "==> parallel determinism gate (headline artifacts, --threads 1 vs 2)"
@@ -49,5 +58,12 @@ cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --no-obs --threads 1 --no-ref-cache \
     --artifacts-out "$smoke_art3" > /dev/null
 cmp "$smoke_art1" "$smoke_art3"
+
+echo "==> semantic pre-flight purity gate (gate on vs off, identical artifacts)"
+smoke_art4="$(mktemp -t headline_nosem.XXXXXX.json)"
+cargo run -q --release -p bench --bin headline -- \
+    --fast --quiet --no-obs --threads 1 --no-semantic-preflight \
+    --artifacts-out "$smoke_art4" > /dev/null
+cmp "$smoke_art1" "$smoke_art4"
 
 echo "ci: all gates passed"

@@ -1,0 +1,362 @@
+//! Unsafe-code audit: enumerate every `unsafe` site in the workspace's
+//! own sources and require each to carry a `// SAFETY:` justification.
+//!
+//! Every first-party crate except `parkit` carries
+//! `#![forbid(unsafe_code)]`; parkit's scoped pool needs exactly one
+//! lifetime-erasing transmute (see DESIGN.md's unsafe-code policy).
+//! This audit keeps that whitelist honest: a new `unsafe` block, fn,
+//! impl or trait anywhere under `crates/` fails CI unless a `SAFETY:`
+//! comment within the eight preceding non-empty lines explains why it is
+//! sound. Vendored third-party sources (`vendor/`) and build output
+//! (`target/`) are out of scope — we audit our code, not our
+//! dependencies'.
+//!
+//! The scanner is a small lexer, not a parser: it strips line comments,
+//! block comments, string and char literals, then looks for the `unsafe`
+//! keyword at word boundaries. That is exact for the token stream —
+//! `unsafe_code` in a `forbid` attribute or `unsafe` inside a string or
+//! comment never matches.
+
+use std::path::{Path, PathBuf};
+
+/// One `unsafe` occurrence in a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Path as reported (relative to the scan root).
+    pub file: String,
+    /// 1-based line number of the `unsafe` token.
+    pub line: usize,
+    /// Whether a `SAFETY:` comment precedes the site.
+    pub documented: bool,
+}
+
+/// Strips comments and string/char literals from Rust source, preserving
+/// line structure (every removed character becomes a space, newlines
+/// survive), so token positions stay on their original lines.
+fn strip_non_code(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"…" / r#"…"#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is '<ident>
+                    // with no closing quote right after.
+                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                        && bytes.get(i + 2) != Some(&'\'');
+                    if is_lifetime {
+                        out.push(c);
+                    } else {
+                        state = State::Char;
+                        out.push(' ');
+                    }
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push(' ');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut matched = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    if matched {
+                        state = State::Code;
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    out.push(' ');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+fn has_unsafe_token(code_line: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut rest = code_line;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0 || !rest[..pos].chars().next_back().is_some_and(is_ident);
+        let after_ok = !rest[pos + 6..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + 6..];
+    }
+    false
+}
+
+/// How many non-empty lines above an `unsafe` token the `SAFETY:`
+/// comment may start. Large enough for a thorough multi-line
+/// justification, small enough that the comment is adjacent to the site.
+pub const SAFETY_COMMENT_WINDOW: usize = 8;
+
+/// Scans one file's source text for `unsafe` sites. `file` is the label
+/// recorded in the findings.
+pub fn scan_source(file: &str, source: &str) -> Vec<UnsafeSite> {
+    let stripped = strip_non_code(source);
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut sites = Vec::new();
+    for (idx, code_line) in code_lines.iter().enumerate() {
+        if !has_unsafe_token(code_line) {
+            continue;
+        }
+        // Look for `SAFETY:` in the original text (it lives in comments,
+        // which the stripped view erased) within the preceding window of
+        // non-empty lines.
+        let mut documented = false;
+        let mut seen = 0;
+        for back in raw_lines[..idx].iter().rev() {
+            if back.trim().is_empty() {
+                continue;
+            }
+            if back.contains("SAFETY:") {
+                documented = true;
+                break;
+            }
+            seen += 1;
+            if seen >= SAFETY_COMMENT_WINDOW {
+                break;
+            }
+        }
+        sites.push(UnsafeSite {
+            file: file.to_owned(),
+            line: idx + 1,
+            documented,
+        });
+    }
+    sites
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits every `.rs` file under `root` (skipping `vendor/`, `target/`
+/// and hidden directories). Paths in the findings are relative to
+/// `root`. Files are visited in sorted order, so output is
+/// deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or reading.
+pub fn audit_tree(root: &Path) -> std::io::Result<Vec<UnsafeSite>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut sites = Vec::new();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        sites.extend(scan_source(&label, &source));
+    }
+    Ok(sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_undocumented_unsafe_block() {
+        let src = "fn f() {\n    let x = unsafe { danger() };\n}\n";
+        let sites = scan_source("x.rs", src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].line, 2);
+        assert!(!sites[0].documented);
+    }
+
+    #[test]
+    fn accepts_documented_unsafe_block() {
+        let src = "fn f() {\n    // SAFETY: the pointer is valid for the call.\n    let x = unsafe { danger() };\n}\n";
+        let sites = scan_source("x.rs", src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].documented);
+    }
+
+    #[test]
+    fn safety_comment_beyond_window_does_not_count() {
+        let mut src = String::from("// SAFETY: too far away.\n");
+        for i in 0..SAFETY_COMMENT_WINDOW + 1 {
+            src.push_str(&format!("let filler_{i} = {i};\n"));
+        }
+        src.push_str("unsafe { danger() };\n");
+        let sites = scan_source("x.rs", &src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].documented);
+    }
+
+    #[test]
+    fn ignores_unsafe_in_comments_strings_and_identifiers() {
+        let src = concat!(
+            "#![forbid(unsafe_code)]\n",
+            "// this comment says unsafe { }\n",
+            "/* unsafe here too */\n",
+            "let s = \"unsafe in a string\";\n",
+            "let r = r#\"unsafe raw\"#;\n",
+            "fn unsafe_sounding_name() {}\n",
+            "let c = 'u'; let lt: &'static str = \"x\";\n",
+        );
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catches_unsafe_fn_impl_and_trait() {
+        let src = "unsafe fn f() {}\nunsafe impl Send for T {}\nunsafe trait U {}\n";
+        let sites = scan_source("x.rs", src);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(
+            sites.iter().map(|s| s.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn multiline_safety_comment_documents_the_site() {
+        let src = "\
+// SAFETY: a long justification that spans
+// several comment lines before the block
+// and still counts as adjacent.
+unsafe { danger() };
+";
+        let sites = scan_source("x.rs", src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].documented);
+    }
+}

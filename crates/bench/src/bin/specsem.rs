@@ -1,0 +1,80 @@
+//! Semantic rule-book analysis cost: runs the full `SL3xx` pass
+//! (satisfiability, world vacuity, pairwise conflict/subsumption, corpus
+//! discrimination) over the shipped driving and warehouse books and
+//! reports per-rule wall time, split into solo / pairwise / corpus
+//! phases. Feeds the EXPERIMENTS.md cost table and, with
+//! `--metrics-out`, an `obskit.bench.v1` report.
+//!
+//! Semantic analysis reuses the ltlcheck spec-automaton cache, so the
+//! hit/miss counters (`ltlcheck.automaton_cache_*`) show how much the
+//! sweep shares across worlds and pairs.
+
+use bench::{table, BenchCli};
+use speclint::presets::{driving_semantic_input, warehouse_semantic_input};
+use speclint::semantic::analyze_timed;
+use speclint::{sort_diagnostics, Severity, Tally};
+
+fn main() {
+    let cli = BenchCli::parse("specsem");
+    let books = [
+        ("driving", driving_semantic_input()),
+        ("warehouse", warehouse_semantic_input()),
+    ];
+
+    let mut diags = Vec::new();
+    for (book, input) in books {
+        let _span = obskit::span("specsem.analyze");
+        let report = analyze_timed(&input);
+        let rows: Vec<Vec<String>> = report
+            .timings
+            .iter()
+            .map(|t| {
+                vec![
+                    t.rule.clone(),
+                    format!("{}", t.solo.as_micros()),
+                    format!("{}", t.pairwise.as_micros()),
+                    format!("{}", t.corpus.as_micros()),
+                    format!("{}", t.total().as_micros()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &format!(
+                    "{book}: per-rule semantic analysis cost ({} worlds, {} corpus controllers, {} checks)",
+                    input.worlds.len(),
+                    input.corpus.len(),
+                    report.checks
+                ),
+                &["rule", "solo µs", "pairwise µs", "corpus µs", "total µs"],
+                &rows,
+            )
+        );
+        for t in &report.timings {
+            obskit::observe("specsem.rule_us", t.total().as_micros() as u64);
+        }
+        diags.extend(report.diagnostics);
+    }
+
+    sort_diagnostics(&mut diags);
+    for d in &diags {
+        println!("{d}");
+    }
+    let tally = Tally::of(&diags);
+    println!(
+        "specsem: {} error(s), {} warning(s), {} note(s) — notes are \
+         expected (scenario-specific rules idle in other worlds)",
+        tally.errors, tally.warnings, tally.notes
+    );
+    println!(
+        "automaton cache: {} entries resident",
+        ltlcheck::analysis::automaton_cache_len()
+    );
+    cli.finish();
+    let loud = diags
+        .iter()
+        .filter(|d| d.severity != Severity::Note)
+        .count();
+    assert_eq!(loud, 0, "shipped rule books must be semantically clean");
+}

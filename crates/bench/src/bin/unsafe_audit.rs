@@ -1,0 +1,58 @@
+//! Unsafe-code audit gate: enumerates every `unsafe` site in the
+//! workspace's own sources (vendored dependencies excluded) and fails
+//! unless each carries an adjacent `// SAFETY:` justification.
+//!
+//! The expected steady state is documented in DESIGN.md's unsafe-code
+//! policy: every first-party crate forbids `unsafe_code` except
+//! `parkit`, whose scoped pool needs one lifetime-erasing transmute.
+//! Run from CI as `cargo run -p bench --bin unsafe_audit`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use bench::audit::audit_tree;
+use bench::{table, BenchCli};
+use std::path::Path;
+
+fn main() {
+    let cli = BenchCli::parse("unsafe_audit");
+    // bench lives at <workspace>/crates/bench; audit the whole checkout.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the workspace root");
+    let sites = match audit_tree(root) {
+        Ok(sites) => sites,
+        Err(e) => panic!("audit walk failed under {}: {e}", root.display()),
+    };
+
+    let rows: Vec<Vec<String>> = sites
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{}:{}", s.file, s.line),
+                if s.documented {
+                    "SAFETY-documented".to_owned()
+                } else {
+                    "UNDOCUMENTED".to_owned()
+                },
+            ]
+        })
+        .collect();
+    println!("{}", table("unsafe sites", &["site", "status"], &rows));
+
+    let undocumented: Vec<_> = sites.iter().filter(|s| !s.documented).collect();
+    obskit::counter_add("unsafe_audit.sites", sites.len() as u64);
+    obskit::counter_add("unsafe_audit.undocumented", undocumented.len() as u64);
+    cli.finish();
+
+    assert!(
+        undocumented.is_empty(),
+        "undocumented unsafe site(s) — add a `// SAFETY:` comment within \
+         {} lines above each: {undocumented:?}",
+        bench::audit::SAFETY_COMMENT_WINDOW
+    );
+    println!(
+        "unsafe audit: {} site(s), all SAFETY-documented",
+        sites.len()
+    );
+}

@@ -27,6 +27,8 @@
 //! Run an experiment with `cargo run --release -p bench --bin fig9`.
 //! Every binary accepts `--fast` to run a reduced configuration.
 
+pub mod audit;
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -45,10 +47,11 @@ use std::time::Instant;
 /// | `--threads <n>`      | scoring fan-out width (0/omitted = `PARKIT_THREADS` or the machine) |
 /// | `--no-cache`         | disable the verification memo-cache |
 /// | `--no-ref-cache`     | disable the DPO reference-logprob cache |
+/// | `--no-semantic-preflight` | skip the semantic rule-book gate |
 ///
-/// `--threads`, `--no-cache` and `--no-ref-cache` are pure performance
-/// knobs — results are byte-identical whatever you pass (see DESIGN.md
-/// §8–§9).
+/// `--threads`, `--no-cache`, `--no-ref-cache` and
+/// `--no-semantic-preflight` are pure performance/gating knobs — results
+/// are byte-identical whatever you pass (see DESIGN.md §8–§10).
 ///
 /// [`BenchCli::parse`] enables the global `obskit` recorder (unless
 /// `--no-obs`), and [`BenchCli::finish`] snapshots it and writes the
@@ -72,6 +75,9 @@ pub struct BenchCli {
     /// `--no-ref-cache` was passed: disable the DPO reference-logprob
     /// cache (recompute reference forwards per pair visit).
     pub no_ref_cache: bool,
+    /// `--no-semantic-preflight` was passed: skip the semantic rule-book
+    /// gate (used by CI to prove the gate never changes artifacts).
+    pub no_semantic_preflight: bool,
     /// The raw argument list (recorded in the report for provenance).
     pub args: Vec<String>,
     started: Instant,
@@ -95,6 +101,7 @@ impl BenchCli {
             threads: 0,
             no_cache: false,
             no_ref_cache: false,
+            no_semantic_preflight: false,
             args: args.clone(),
             started: Instant::now(),
         };
@@ -107,6 +114,7 @@ impl BenchCli {
                 "--quiet" => quiet = true,
                 "--no-cache" => cli.no_cache = true,
                 "--no-ref-cache" => cli.no_ref_cache = true,
+                "--no-semantic-preflight" => cli.no_semantic_preflight = true,
                 "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
                 "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
                 "--threads" => {
@@ -165,6 +173,7 @@ impl BenchCli {
         cfg.threads = self.threads;
         cfg.verify_cache = !self.no_cache;
         cfg.ref_cache = !self.no_ref_cache;
+        cfg.semantic_preflight = !self.no_semantic_preflight;
         cfg
     }
 }

@@ -13,7 +13,10 @@
 //! `Mutex<HashMap>` shards, so the parallel scoring fan-out rarely
 //! contends on a single lock. Hit/miss tallies are kept in local atomics
 //! (readable without the global recorder) and mirrored to the obskit
-//! counters `verify.cache_hits` / `verify.cache_misses`.
+//! counters `verify.cache_hits` / `verify.cache_misses`; the number of
+//! distinct memoized keys is mirrored to the `verify.cache_entries`
+//! gauge — the observability hook for the bounded-LRU work, which needs
+//! the resident-size trend before picking a bound.
 //!
 //! **Invalidation:** there is none, by design. A cache lives inside one
 //! [`crate::pipeline::DpoAf`], whose rule book, lexicon and scenario
@@ -53,6 +56,7 @@ pub struct VerifyCache {
     shards: [Mutex<HashMap<(ScenarioKind, String), CachedScore>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    entries: AtomicU64,
 }
 
 fn lock_shard(
@@ -100,9 +104,16 @@ impl VerifyCache {
     }
 
     /// Memoizes a freshly computed verdict. Verdicts are deterministic,
-    /// so a racing double-insert of the same key is idempotent.
+    /// so a racing double-insert of the same key is idempotent. Fresh
+    /// keys update the `verify.cache_entries` gauge.
     pub fn insert(&self, scenario: ScenarioKind, text: &str, score: CachedScore) {
-        lock_shard(self.shard(scenario, text)).insert((scenario, text.to_owned()), score);
+        let fresh = lock_shard(self.shard(scenario, text))
+            .insert((scenario, text.to_owned()), score)
+            .is_none();
+        if fresh {
+            let entries = self.entries.fetch_add(1, Ordering::Relaxed) + 1;
+            obskit::gauge_set("verify.cache_entries", entries as f64);
+        }
     }
 
     /// `(hits, misses)` so far — independent of the global recorder.
@@ -146,6 +157,12 @@ mod tests {
         assert_eq!(cache.stats(), (1, 2));
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+        // Re-inserting an existing key does not inflate the entry count.
+        cache.insert(ScenarioKind::TrafficLight, "stop .", score);
+        assert_eq!(cache.entries.load(Ordering::Relaxed), 1);
+        cache.insert(ScenarioKind::Roundabout, "stop .", score);
+        assert_eq!(cache.entries.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.len() as u64, cache.entries.load(Ordering::Relaxed));
     }
 
     /// Keys spread over multiple shards, and concurrent mixed

@@ -18,6 +18,7 @@ use glm2fsa::{synthesize, with_default_action, FsaOptions};
 use ltlcheck::specs::driving_specs;
 use ltlcheck::{verify_all_fair, Justice, SpecResult, VerificationReport};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// FSA-construction options for the driving domain: `stop` is a
 /// *reactive* action (`"if the light is not green, stop"` applies only
@@ -66,6 +67,53 @@ pub fn preflight_rule_book(d: &DrivingDomain) -> Result<(), Vec<speclint::Diagno
     } else {
         Err(errors)
     }
+}
+
+/// Semantic pre-flight of the rule book (`SL3xx`): checks every spec's
+/// satisfiability and the pairwise conflicts under all five scenario
+/// worlds via the ltlcheck automaton machinery, and returns the
+/// `Error`-severity findings (`SL300` empty language, `SL303`
+/// conflict-under-world), if any. Note-class findings — per-world
+/// vacuity, subsumption — are expected in a healthy book and do not
+/// gate. Corpus discrimination (`SL305`) needs a response corpus the
+/// pipeline does not have yet, so the gate runs worlds-only.
+///
+/// The verdict is memoized process-wide: the shipped rule book and
+/// scenario models are fixed at compile time, so every run after the
+/// first returns the cached result. The first run's model-checking
+/// queries are counted in the obskit `speclint.semantic_*` metrics.
+pub fn preflight_rule_book_semantic(d: &DrivingDomain) -> Result<(), Vec<speclint::Diagnostic>> {
+    static VERDICT: OnceLock<Result<(), Vec<speclint::Diagnostic>>> = OnceLock::new();
+    VERDICT
+        .get_or_init(|| {
+            let free = speclint::presets::free_controller(
+                "free (driving)",
+                &[d.stop, d.turn_left, d.turn_right, d.go_straight].map(autokit::ActSet::singleton),
+            );
+            let mut input = speclint::SemanticInput {
+                specs: driving_specs(d),
+                vocab: Some(d.vocab.clone()),
+                ..Default::default()
+            };
+            for kind in ScenarioKind::all() {
+                input.worlds.push(speclint::SemanticWorld::from_parts(
+                    format!("{kind:?}"),
+                    &scenario_model(d, kind),
+                    &free,
+                    justice_for(d, kind),
+                ));
+            }
+            let errors: Vec<speclint::Diagnostic> = speclint::semantic::analyze(&input)
+                .into_iter()
+                .filter(|diag| diag.severity == speclint::Severity::Error)
+                .collect();
+            if errors.is_empty() {
+                Ok(())
+            } else {
+                Err(errors)
+            }
+        })
+        .clone()
 }
 
 /// Pre-flight static analysis of one response's step list: runs the

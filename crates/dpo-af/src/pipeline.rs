@@ -94,6 +94,14 @@ pub struct PipelineConfig {
     /// trajectories and artifacts are byte-identical either way (see
     /// DESIGN.md §9); on by default.
     pub ref_cache: bool,
+    /// Semantic pre-flight of the rule book
+    /// ([`crate::feedback::preflight_rule_book_semantic`]): abort on
+    /// `Error`-class `SL3xx` findings (empty-language or
+    /// conflicting-under-world rules) before any sampling. A pure gate —
+    /// artifacts are byte-identical with it on or off; on by default.
+    /// The verdict is memoized process-wide, so the cost is one semantic
+    /// sweep per process, not per run.
+    pub semantic_preflight: bool,
 }
 
 /// The source of the automated ranking signal.
@@ -149,6 +157,7 @@ impl Default for PipelineConfig {
             threads: 0,
             verify_cache: true,
             ref_cache: true,
+            semantic_preflight: true,
         }
     }
 }
@@ -175,6 +184,11 @@ impl PipelineConfig {
             iterations: 1,
             lm_hidden: 24,
             lm_context: 3,
+            // The semantic sweep over all five scenario worlds is a
+            // release-grade workload; keep the many debug-mode smoke
+            // tests fast. The gate itself is covered by speclint's own
+            // tests and the instrumented headline run in CI.
+            semantic_preflight: false,
             ..PipelineConfig::default()
         }
     }
@@ -570,6 +584,16 @@ impl DpoAf {
         if let Err(errors) = crate::feedback::preflight_rule_book(&self.bundle.driving) {
             panic!("driving rule book failed the speclint pre-flight gate: {errors:?}");
         }
+        // Semantic pre-flight: the syntactic pass cannot see rules that
+        // are individually healthy but conflict (or are vacuous) under
+        // the scenario worlds verification actually runs in.
+        if self.config.semantic_preflight {
+            let _preflight = obskit::span("pipeline.semantic_preflight");
+            if let Err(errors) = crate::feedback::preflight_rule_book_semantic(&self.bundle.driving)
+            {
+                panic!("driving rule book failed the semantic pre-flight gate: {errors:?}");
+            }
+        }
 
         let _run = obskit::span("pipeline.run");
         // Register the pool/cache metrics up front so instrumented runs
@@ -583,10 +607,15 @@ impl DpoAf {
             "dpo.ref_cache_hits",
             "tape.nodes",
             "tape.grad_buffer_reuses",
+            "speclint.semantic_rules",
+            "speclint.semantic_checks",
+            "speclint.semantic_errors",
+            "speclint.semantic_notes",
         ] {
             obskit::counter_add(name, 0);
         }
         obskit::gauge_set("pool.threads", self.pool.threads() as f64);
+        obskit::gauge_set("verify.cache_entries", 0.0);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pretrained = self.pretrained_lm(&mut rng);
 
@@ -674,6 +703,17 @@ impl DpoAf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    /// The semantic gate is on for real runs; the smoke configuration
+    /// opts out so the (release-grade) semantic sweep stays out of the
+    /// debug-mode test suite. Its correctness is covered by speclint's
+    /// own preset tests and the instrumented headline run in CI.
+    #[test]
+    fn semantic_preflight_defaults() {
+        assert!(PipelineConfig::default().semantic_preflight);
+        assert!(!PipelineConfig::smoke().semantic_preflight);
+    }
 
     #[test]
     fn smoke_run_produces_artifacts() {

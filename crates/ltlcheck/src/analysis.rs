@@ -10,14 +10,66 @@
 //!   passes **vacuously** — the rule never actually constrains anything.
 
 use crate::buchi::Buchi;
-use crate::{check_graph, Ltl};
-use autokit::LabelGraph;
-use std::sync::Arc;
+use crate::mc::{eval_bool, find_fair_lasso, is_propositional};
+use crate::{check_graph, Justice, Ltl};
+use autokit::{ActSet, LabelGraph, PropSet};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-wide spec-automaton cache (see [`spec_automaton`]).
+fn automaton_cache() -> &'static Mutex<HashMap<Ltl, Arc<Buchi>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Ltl, Arc<Buchi>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_cache() -> std::sync::MutexGuard<'static, HashMap<Ltl, Arc<Buchi>>> {
+    match automaton_cache().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The **spec-only automaton**: the Büchi automaton of `phi` itself (not
+/// of its negation, which is what universal model checking builds),
+/// memoized process-wide by the formula.
+///
+/// Semantic rule-book analysis asks many questions about the *same* small
+/// set of rules — satisfiability, realizability per world, pairwise
+/// conflict and containment — and the tableau construction dominates the
+/// cost of each query on the small product graphs involved. The cache
+/// turns repeat constructions into a hash lookup; hits and misses are
+/// mirrored to the obskit counters `ltlcheck.automaton_cache_hits` /
+/// `ltlcheck.automaton_cache_misses`.
+///
+/// The cache never invalidates: an automaton is a pure function of its
+/// formula, and formulas are compared structurally (two differently
+/// built but identical rule texts share one entry).
+pub fn spec_automaton(phi: &Ltl) -> Arc<Buchi> {
+    if let Some(hit) = lock_cache().get(phi) {
+        obskit::counter_add("ltlcheck.automaton_cache_hits", 1);
+        return Arc::clone(hit);
+    }
+    obskit::counter_add("ltlcheck.automaton_cache_misses", 1);
+    // Build outside the lock: construction is the expensive part, and a
+    // racing double-build of the same formula is idempotent.
+    let built = Arc::new(Buchi::from_ltl(phi));
+    Arc::clone(
+        lock_cache()
+            .entry(phi.clone())
+            .or_insert_with(|| Arc::clone(&built)),
+    )
+}
+
+/// Number of distinct formulas memoized by [`spec_automaton`] so far.
+pub fn automaton_cache_len() -> usize {
+    lock_cache().len()
+}
 
 /// Decides whether some infinite word over `2^{P ∪ P_A}` satisfies `phi`.
 ///
-/// Runs a Büchi-emptiness check on the formula automaton alone: a state
-/// is *consistent* when its positive and negative literal constraints do
+/// Runs a Büchi-emptiness check on the spec-only automaton (via
+/// [`spec_automaton`], so repeat queries are cached): a state is
+/// *consistent* when its positive and negative literal constraints do
 /// not clash (such a symbol always exists, the alphabet being the full
 /// power set); the language is non-empty iff an accepting cycle of
 /// consistent states is reachable from a consistent initial state.
@@ -35,7 +87,12 @@ use std::sync::Arc;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn satisfiable(phi: &Ltl) -> bool {
-    let buchi = Buchi::from_ltl(phi);
+    language_nonempty(&spec_automaton(phi))
+}
+
+/// Büchi emptiness on a formula automaton over the unconstrained
+/// alphabet: `true` iff the automaton accepts some infinite word.
+pub fn language_nonempty(buchi: &Buchi) -> bool {
     let n = buchi.num_states();
     let consistent: Vec<bool> = buchi
         .states()
@@ -97,6 +154,84 @@ pub fn valid(phi: &Ltl) -> bool {
 /// `true` iff the two formulas have the same models.
 pub fn equivalent(a: &Ltl, b: &Ltl) -> bool {
     valid(&Ltl::iff(a.clone(), b.clone()))
+}
+
+/// **Existential** model checking: `true` iff *some* fair path of
+/// `graph` satisfies `phi`.
+///
+/// The dual of [`crate::check_graph_fair`] (which asks whether *every*
+/// fair path satisfies the formula): the spec-only automaton of `phi`
+/// itself is composed with the graph and searched for a justice-fair
+/// accepting lasso. This is the primitive behind semantic rule-book
+/// analysis — realizability of a rule in a world, pairwise conflict
+/// (`∃ path ⊨ A ∧ B`?) and containment (`∃ path ⊨ A ∧ ¬B`?) are all one
+/// existential query each.
+///
+/// Automata come from [`spec_automaton`], so sweeping the same rule book
+/// over several worlds builds each automaton once.
+pub fn exists_fair_path(graph: &LabelGraph, phi: &Ltl, justice: &[Justice]) -> bool {
+    find_fair_lasso(graph, &spec_automaton(phi), justice).is_some()
+}
+
+/// **Universal** model checking through the automaton cache: `true` iff
+/// every fair path of `graph` satisfies `phi`.
+///
+/// Verdict-identical to `check_graph_fair(graph, phi, justice).holds()`,
+/// but the negation automaton is memoized by [`spec_automaton`], which
+/// matters when the same rules are checked across many worlds.
+pub fn holds_fair(graph: &LabelGraph, phi: &Ltl, justice: &[Justice]) -> bool {
+    find_fair_lasso(graph, &spec_automaton(&Ltl::not(phi.clone())), justice).is_none()
+}
+
+/// Product-reachability query: the step labels `(σ, a)` of every node
+/// reachable from the graph's initial nodes, deduplicated, in first-visit
+/// (DFS preorder) order.
+///
+/// This is the basis for trigger-reachability analysis: a rule of shape
+/// `□(trigger → …)` whose trigger is false on every reachable label can
+/// never fire — the rule holds vacuously no matter the controller.
+pub fn reachable_labels(graph: &LabelGraph) -> Vec<(PropSet, ActSet)> {
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut stack: Vec<usize> = graph.initial.clone();
+    for &s in &stack {
+        seen[s] = true;
+    }
+    let mut labels = Vec::new();
+    let mut dedup = std::collections::HashSet::new();
+    while let Some(s) = stack.pop() {
+        if dedup.insert(graph.labels[s]) {
+            labels.push(graph.labels[s]);
+        }
+        for &t in &graph.succs[s] {
+            if !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    labels
+}
+
+/// Evaluates a propositional condition over one step label. Returns
+/// `None` when `phi` contains temporal operators.
+pub fn eval_propositional(phi: &Ltl, props: PropSet, acts: ActSet) -> Option<bool> {
+    is_propositional(phi).then(|| eval_bool(phi, props, acts))
+}
+
+/// `true` iff some reachable node of `graph` satisfies the propositional
+/// condition `cond`; `None` when `cond` is not propositional.
+///
+/// Callers sweeping many conditions over one graph should precompute
+/// [`reachable_labels`] and evaluate with [`eval_propositional`] instead.
+pub fn condition_reachable(graph: &LabelGraph, cond: &Ltl) -> Option<bool> {
+    if !is_propositional(cond) {
+        return None;
+    }
+    Some(
+        reachable_labels(graph)
+            .iter()
+            .any(|&(p, a)| eval_bool(cond, p, a)),
+    )
 }
 
 /// How a specification can hold without constraining anything.
@@ -253,6 +388,128 @@ mod tests {
         let graph = single_state_graph(PropSet::empty());
         let spec = parse("G a", &v).unwrap();
         assert_eq!(vacuous_pass(&graph, &spec), None);
+    }
+
+    /// Two-node graph: node 0 labels `{a}`, node 1 labels `{b}` with act
+    /// `s`; 0 → 1 → 1.
+    fn two_phase_graph(v: &Vocab) -> LabelGraph {
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        let s = v.act("s").unwrap();
+        LabelGraph {
+            labels: vec![
+                (PropSet::singleton(a), ActSet::empty()),
+                (PropSet::singleton(b), ActSet::singleton(s)),
+            ],
+            origin: vec![
+                ProductState { model: 0, ctrl: 0 },
+                ProductState { model: 1, ctrl: 0 },
+            ],
+            succs: vec![vec![1], vec![1]],
+            initial: vec![0],
+        }
+    }
+
+    #[test]
+    fn exists_fair_path_is_existential() {
+        let v = vocab();
+        let graph = two_phase_graph(&v);
+        // Every path eventually sees `b` forever, and starts at `a`.
+        assert!(exists_fair_path(&graph, &parse("a", &v).unwrap(), &[]));
+        assert!(exists_fair_path(
+            &graph,
+            &parse("F (G b)", &v).unwrap(),
+            &[]
+        ));
+        // No path ever revisits `a`.
+        assert!(!exists_fair_path(
+            &graph,
+            &parse("X (F a)", &v).unwrap(),
+            &[]
+        ));
+        // Unsatisfiable formulas are realizable nowhere.
+        assert!(!exists_fair_path(
+            &graph,
+            &parse("F (a & !a)", &v).unwrap(),
+            &[]
+        ));
+    }
+
+    #[test]
+    fn exists_respects_justice() {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        // Self-loops on both nodes: paths may park on node 0 (`a`)
+        // forever...
+        let mut graph = two_phase_graph(&v);
+        graph.succs[0].push(0);
+        assert!(exists_fair_path(&graph, &parse("G a", &v).unwrap(), &[]));
+        // ...but justice "b infinitely often" rules those paths out.
+        let justice = vec![Justice::new("b", parse("b", &v).unwrap()).unwrap()];
+        assert!(!exists_fair_path(
+            &graph,
+            &parse("G a", &v).unwrap(),
+            &justice
+        ));
+        assert!(exists_fair_path(
+            &graph,
+            &parse("F b", &v).unwrap(),
+            &justice
+        ));
+        let _ = a;
+    }
+
+    #[test]
+    fn holds_fair_matches_check_graph_fair() {
+        let v = vocab();
+        let graph = two_phase_graph(&v);
+        for src in ["a", "G a", "F (G b)", "X b", "F (a & !a)"] {
+            let phi = parse(src, &v).unwrap();
+            assert_eq!(
+                holds_fair(&graph, &phi, &[]),
+                check_graph(&graph, &phi).holds(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_labels_dedups_and_skips_unreachable() {
+        let v = vocab();
+        let a = v.prop("a").unwrap();
+        let b = v.prop("b").unwrap();
+        let mut graph = two_phase_graph(&v);
+        // An unreachable node labeled `{a, b}`.
+        graph
+            .labels
+            .push((PropSet::singleton(a).with(b), ActSet::empty()));
+        graph.origin.push(ProductState { model: 2, ctrl: 0 });
+        graph.succs.push(vec![2]);
+        let labels = reachable_labels(&graph);
+        assert_eq!(labels.len(), 2);
+        assert!(!labels.contains(&(PropSet::singleton(a).with(b), ActSet::empty())));
+
+        let reach_b = condition_reachable(&graph, &parse("b", &v).unwrap());
+        assert_eq!(reach_b, Some(true));
+        let reach_ab = condition_reachable(&graph, &parse("a & b", &v).unwrap());
+        assert_eq!(reach_ab, Some(false));
+        // Temporal conditions are not propositional.
+        assert_eq!(
+            condition_reachable(&graph, &parse("F a", &v).unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn spec_automaton_memoizes_structurally() {
+        let v = vocab();
+        let phi = parse("G (a -> F b)", &v).unwrap();
+        let first = spec_automaton(&phi);
+        // A structurally identical formula built separately hits the same
+        // entry.
+        let again = spec_automaton(&parse("G (a -> F b)", &v).unwrap());
+        assert!(Arc::ptr_eq(&first, &again));
+        assert!(automaton_cache_len() >= 1);
     }
 
     fn arb_ltl() -> impl Strategy<Value = Ltl> {

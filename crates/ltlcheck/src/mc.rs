@@ -146,7 +146,7 @@ impl fmt::Display for NonPropositionalError {
 
 impl std::error::Error for NonPropositionalError {}
 
-fn is_propositional(phi: &Ltl) -> bool {
+pub(crate) fn is_propositional(phi: &Ltl) -> bool {
     match phi {
         Ltl::True | Ltl::False | Ltl::Atom(_) => true,
         Ltl::Not(inner) => is_propositional(inner),
@@ -155,7 +155,7 @@ fn is_propositional(phi: &Ltl) -> bool {
     }
 }
 
-fn eval_bool(phi: &Ltl, props: PropSet, acts: ActSet) -> bool {
+pub(crate) fn eval_bool(phi: &Ltl, props: PropSet, acts: ActSet) -> bool {
     match phi {
         Ltl::True => true,
         Ltl::False => false,
@@ -489,7 +489,7 @@ struct Exploration {
 /// Searches `graph ⊗ buchi` for a reachable SCC that contains a
 /// Büchi-accepting state and a witness of every justice condition —
 /// generalized Büchi emptiness via SCC decomposition.
-fn find_fair_lasso(
+pub(crate) fn find_fair_lasso(
     graph: &LabelGraph,
     buchi: &Buchi,
     justice: &[Justice],

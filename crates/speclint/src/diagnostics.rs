@@ -36,7 +36,10 @@ impl fmt::Display for Severity {
 }
 
 /// The catalog of lints. `SL0xx` are specification lints, `SL1xx` are
-/// controller/automaton lints, `SL2xx` are parsed-step lints.
+/// controller/automaton lints, `SL2xx` are parsed-step lints, and
+/// `SL3xx` are **semantic** rule-book findings (they reason about the
+/// rule's language under the shipped world models and controller corpus,
+/// not just about its syntax — see [`crate::semantic`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LintCode {
     /// SL001 — the formula has no satisfying trace; it fails every
@@ -76,11 +79,36 @@ pub enum LintCode {
     /// SL203 — a step mentions several actions; only the first takes
     /// effect.
     AmbiguousStep,
+    /// SL300 — Büchi emptiness on the spec-only automaton: the rule's
+    /// language is empty, so it fails every controller in every world.
+    SemUnsatisfiable,
+    /// SL301 — the rule has the same verdict for every controller in
+    /// some world: it holds with the controller left unconstrained (a
+    /// maximally permissive controller already satisfies all fair
+    /// paths), or no fair path of the world satisfies it at all. Either
+    /// way it cannot rank controllers there.
+    SemWorldVacuous,
+    /// SL302 — the rule's trigger (the antecedent of its `□(a → …)`
+    /// shape) is false on every reachable label of the world's product:
+    /// the rule can never fire there.
+    SemUnreachableTrigger,
+    /// SL303 — two individually realizable rules have no common fair
+    /// path in some world: no controller can pass both there, which
+    /// silently caps every response's score.
+    SemWorldConflict,
+    /// SL304 — language containment under every provided world: any
+    /// controller satisfying one rule satisfies the other, so the weaker
+    /// rule adds no discrimination anywhere the book is deployed.
+    SemWorldSubsumed,
+    /// SL305 — corpus discrimination: every (or no) controller in the
+    /// shipped corpus satisfies the rule, so it contributes zero DPO
+    /// ranking power on that corpus.
+    SemZeroDiscrimination,
 }
 
 impl LintCode {
     /// Every lint in the catalog, in code order.
-    pub const ALL: [LintCode; 14] = [
+    pub const ALL: [LintCode; 20] = [
         LintCode::UnsatisfiableSpec,
         LintCode::TautologicalSpec,
         LintCode::VacuousPass,
@@ -95,6 +123,12 @@ impl LintCode {
         LintCode::UnparseableStep,
         LintCode::UnknownToken,
         LintCode::AmbiguousStep,
+        LintCode::SemUnsatisfiable,
+        LintCode::SemWorldVacuous,
+        LintCode::SemUnreachableTrigger,
+        LintCode::SemWorldConflict,
+        LintCode::SemWorldSubsumed,
+        LintCode::SemZeroDiscrimination,
     ];
 
     /// The stable identifier tools may match on.
@@ -114,6 +148,12 @@ impl LintCode {
             LintCode::UnparseableStep => "SL201",
             LintCode::UnknownToken => "SL202",
             LintCode::AmbiguousStep => "SL203",
+            LintCode::SemUnsatisfiable => "SL300",
+            LintCode::SemWorldVacuous => "SL301",
+            LintCode::SemUnreachableTrigger => "SL302",
+            LintCode::SemWorldConflict => "SL303",
+            LintCode::SemWorldSubsumed => "SL304",
+            LintCode::SemZeroDiscrimination => "SL305",
         }
     }
 
@@ -127,7 +167,9 @@ impl LintCode {
         match self {
             LintCode::UnsatisfiableSpec
             | LintCode::ConflictingSpecs
-            | LintCode::UnparseableStep => Severity::Error,
+            | LintCode::UnparseableStep
+            | LintCode::SemUnsatisfiable
+            | LintCode::SemWorldConflict => Severity::Error,
             LintCode::TautologicalSpec
             | LintCode::UnreachableState
             | LintCode::DeadTransition
@@ -135,13 +177,23 @@ impl LintCode {
             // Note, not Warning: the paper's own rule book contains
             // subsuming pairs (e.g. phi_5 ⇒ phi_11) — redundancy does not
             // corrupt the feedback signal, it only adds no discrimination.
+            // The per-world and per-corpus semantic findings (SL301/302/
+            // 304/305) are Note for the same reason: a healthy rule book
+            // legitimately carries scenario-specific rules that bind in
+            // one world and are vacuous in another, and rules every
+            // template controller satisfies — advisory signal-power
+            // findings, not defects that corrupt the ranking.
             LintCode::SubsumedSpec
             | LintCode::VacuousPass
             | LintCode::NondeterministicState
             | LintCode::IncompleteState
             | LintCode::SinkState
             | LintCode::UnusedAtom
-            | LintCode::AmbiguousStep => Severity::Note,
+            | LintCode::AmbiguousStep
+            | LintCode::SemWorldVacuous
+            | LintCode::SemUnreachableTrigger
+            | LintCode::SemWorldSubsumed
+            | LintCode::SemZeroDiscrimination => Severity::Note,
         }
     }
 
@@ -162,6 +214,12 @@ impl LintCode {
             LintCode::UnparseableStep => "step does not parse",
             LintCode::UnknownToken => "step contains out-of-lexicon tokens",
             LintCode::AmbiguousStep => "step mentions several actions",
+            LintCode::SemUnsatisfiable => "specification language is empty (spec-only automaton)",
+            LintCode::SemWorldVacuous => "specification cannot distinguish controllers in a world",
+            LintCode::SemUnreachableTrigger => "specification trigger is unreachable in a world",
+            LintCode::SemWorldConflict => "specifications have no common fair path in a world",
+            LintCode::SemWorldSubsumed => "specification is subsumed under every world model",
+            LintCode::SemZeroDiscrimination => "specification has zero ranking power on the corpus",
         }
     }
 }
@@ -295,6 +353,32 @@ impl Deserialize for Diagnostic {
     }
 }
 
+/// Sorts diagnostics into the canonical report order: by subject, then
+/// lint code, then element, then message.
+///
+/// Analyzers emit findings in analysis order, which is convenient for
+/// them but an implementation detail for consumers; the CLI's human and
+/// JSON output sort through this function so reports are deterministic
+/// across runs and insensitive to analyzer scheduling. The sort is
+/// stable, so equal keys keep their emission order. Semantic (`SL3xx`)
+/// codes slot into the same ordering as every other code.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (
+            &a.location.subject,
+            a.code.code(),
+            &a.location.element,
+            &a.message,
+        )
+            .cmp(&(
+                &b.location.subject,
+                b.code.code(),
+                &b.location.element,
+                &b.message,
+            ))
+    });
+}
+
 /// Counts by severity, for exit-code and summary decisions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Tally {
@@ -356,6 +440,47 @@ mod tests {
         assert!(json.contains("\"subject\":\"controller free\""), "{json}");
         let back: Diagnostic = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn sort_is_canonical_and_idempotent() {
+        let mk = |code, subject: &str, element: Option<&str>| {
+            let d = Diagnostic::new(code, subject, "m");
+            match element {
+                Some(el) => d.element(el),
+                None => d,
+            }
+        };
+        let mut diags = vec![
+            mk(LintCode::SemWorldVacuous, "spec phi_2", Some("world B")),
+            mk(LintCode::UnsatisfiableSpec, "spec phi_2", None),
+            mk(LintCode::SemWorldVacuous, "spec phi_2", Some("world A")),
+            mk(LintCode::SinkState, "controller x", Some("state 1")),
+            mk(LintCode::SemUnsatisfiable, "spec phi_1", None),
+        ];
+        sort_diagnostics(&mut diags);
+        let keys: Vec<(&str, &str)> = diags
+            .iter()
+            .map(|d| (d.location.subject.as_str(), d.code.code()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("controller x", "SL105"),
+                ("spec phi_1", "SL300"),
+                ("spec phi_2", "SL001"),
+                ("spec phi_2", "SL301"),
+                ("spec phi_2", "SL301"),
+            ]
+        );
+        // Elements break ties deterministically.
+        assert_eq!(diags[3].location.element.as_deref(), Some("world A"));
+        let again = {
+            let mut copy = diags.clone();
+            sort_diagnostics(&mut copy);
+            copy
+        };
+        assert_eq!(diags, again);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   ([`lint_controller`]).
 //! * **Step lints (`SL2xx`)** — unparseable steps, lexicon-coverage gaps,
 //!   ambiguous steps ([`lint_steps`]).
+//! * **Semantic spec analysis (`SL3xx`)** — satisfiability, world-model
+//!   vacuity, pairwise conflict under the world, subsumption, and corpus
+//!   discrimination, via the ltlcheck automaton machinery
+//!   ([`semantic::analyze`]).
 //!
 //! Findings are [`Diagnostic`]s with stable codes, suitable for both human
 //! output and the JSON schema the `speclint` CLI emits. [`run`] lints a
@@ -23,11 +27,13 @@
 pub mod controller;
 pub mod diagnostics;
 pub mod presets;
+pub mod semantic;
 pub mod spec;
 pub mod steps;
 
 pub use controller::{lint_controller, ControllerContext};
-pub use diagnostics::{Diagnostic, LintCode, Location, Severity, Tally};
+pub use diagnostics::{sort_diagnostics, Diagnostic, LintCode, Location, Severity, Tally};
+pub use semantic::{analyze, CorpusController, SemanticInput, SemanticWorld};
 pub use spec::lint_specs;
 pub use steps::lint_steps;
 

@@ -2,8 +2,21 @@
 //! paper's demonstration controllers, and their step lists.
 //!
 //! ```text
-//! speclint [--format human|json] [--deny-warnings]
+//! speclint [--format human|json] [--deny-warnings] [--semantic]
+//!          [--book driving|warehouse|all|conflict-demo]
 //! ```
+//!
+//! The default pass is the syntactic one (`SL0xx`–`SL2xx`). With
+//! `--semantic` the CLI instead runs the semantic rule-book analysis
+//! (`SL3xx`): satisfiability, world-model vacuity, pairwise conflict,
+//! subsumption, and corpus discrimination over the selected books.
+//! `--book conflict-demo` selects a deliberately conflicting rule book
+//! (never part of `all`) used to demonstrate — and test — that the
+//! semantic gate rejects what the syntactic pass cannot see.
+//!
+//! Diagnostics are emitted in a canonical order (subject, code, element,
+//! message), so output is deterministic across runs and suitable for
+//! byte-equality checks in CI.
 //!
 //! Exit status: `0` when clean (notes are always allowed), `1` when any
 //! `error` diagnostic fired (or any `warning`, under `--deny-warnings`),
@@ -15,8 +28,11 @@
 #![allow(clippy::expect_used)]
 
 use serde::{Serialize, Value};
-use speclint::presets::{driving_input, warehouse_input};
-use speclint::{Diagnostic, Tally};
+use speclint::presets::{
+    conflicting_semantic_input, driving_input, driving_semantic_input, warehouse_input,
+    warehouse_semantic_input,
+};
+use speclint::{sort_diagnostics, Diagnostic, LintInput, Tally};
 use std::process::ExitCode;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -25,15 +41,30 @@ enum Format {
     Json,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Book {
+    Driving,
+    Warehouse,
+    All,
+    ConflictDemo,
+}
+
 struct Options {
     format: Format,
     deny_warnings: bool,
+    semantic: bool,
+    book: Book,
 }
+
+const USAGE: &str = "usage: speclint [--format human|json] [--deny-warnings] [--semantic] \
+                     [--book driving|warehouse|all|conflict-demo]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         format: Format::Human,
         deny_warnings: false,
+        semantic: false,
+        book: Book::All,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,13 +78,55 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--deny-warnings" => opts.deny_warnings = true,
-            "--help" | "-h" => {
-                return Err("usage: speclint [--format human|json] [--deny-warnings]".to_owned())
+            "--semantic" => opts.semantic = true,
+            "--book" => {
+                let value = args.next().ok_or("--book needs a value")?;
+                opts.book = match value.as_str() {
+                    "driving" => Book::Driving,
+                    "warehouse" => Book::Warehouse,
+                    "all" => Book::All,
+                    "conflict-demo" => Book::ConflictDemo,
+                    other => return Err(format!("unknown book `{other}`")),
+                };
             }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
+}
+
+fn syntactic_diags(book: Book) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if matches!(book, Book::Driving | Book::All) {
+        diags.extend(speclint::run(&driving_input()));
+    }
+    if matches!(book, Book::Warehouse | Book::All) {
+        diags.extend(speclint::run(&warehouse_input()));
+    }
+    if book == Book::ConflictDemo {
+        let semantic = conflicting_semantic_input();
+        diags.extend(speclint::run(&LintInput {
+            specs: semantic.specs,
+            spec_vocab: semantic.vocab,
+            ..Default::default()
+        }));
+    }
+    diags
+}
+
+fn semantic_diags(book: Book) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if matches!(book, Book::Driving | Book::All) {
+        diags.extend(speclint::semantic::analyze(&driving_semantic_input()));
+    }
+    if matches!(book, Book::Warehouse | Book::All) {
+        diags.extend(speclint::semantic::analyze(&warehouse_semantic_input()));
+    }
+    if book == Book::ConflictDemo {
+        diags.extend(speclint::semantic::analyze(&conflicting_semantic_input()));
+    }
+    diags
 }
 
 fn json_report(diags: &[Diagnostic], tally: Tally) -> String {
@@ -80,8 +153,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut diags = speclint::run(&driving_input());
-    diags.extend(speclint::run(&warehouse_input()));
+    let mut diags = if opts.semantic {
+        semantic_diags(opts.book)
+    } else {
+        syntactic_diags(opts.book)
+    };
+    sort_diagnostics(&mut diags);
     let tally = Tally::of(&diags);
 
     match opts.format {

@@ -7,16 +7,19 @@
 // a bug in this crate, not an input condition, so panicking is correct.
 #![allow(clippy::expect_used)]
 
+use crate::semantic::{CorpusController, SemanticInput, SemanticWorld};
 use crate::{ControllerInput, LintInput, StepListInput};
 use autokit::presets::DrivingDomain;
 use autokit::{
     ActSet, Controller, ControllerBuilder, DeadlockPolicy, Guard, LabelGraph, Product, PropSet,
-    WorldModel,
+    Vocab, WorldModel,
 };
+use drivesim::formal::scenario_justice;
 use drivesim::ScenarioKind;
 use glm2fsa::{synthesize, with_default_action, FsaOptions, Lexicon};
-use ltlcheck::specs::driving_specs;
-use warehouse::{warehouse_specs, WarehouseDomain};
+use ltlcheck::parse;
+use ltlcheck::specs::{driving_specs, Spec};
+use warehouse::{warehouse_justice, warehouse_specs, WarehouseDomain};
 
 /// The paper's §5.1 right-turn response before fine-tuning (aligned
 /// form). Duplicated from `dpo_af::experiments::demo` because `dpo-af`
@@ -217,6 +220,175 @@ pub fn warehouse_input() -> LintInput {
     input
 }
 
+/// Semantic-analysis input for the driving domain: the 15-rule book
+/// deployed against all five scenario worlds (free product, scenario
+/// justice), with the four paper demonstration controllers plus the free
+/// controller as the discrimination corpus.
+pub fn driving_semantic_input() -> SemanticInput {
+    let d = DrivingDomain::new();
+    let lexicon = Lexicon::driving(&d);
+    let free = free_controller(
+        "free (driving)",
+        &[d.stop, d.turn_left, d.turn_right, d.go_straight].map(ActSet::singleton),
+    );
+
+    let mut input = SemanticInput {
+        specs: driving_specs(&d),
+        vocab: Some(d.vocab.clone()),
+        ..Default::default()
+    };
+    for kind in ScenarioKind::all() {
+        let model = scenario_model(&d, kind);
+        let justice = scenario_justice(&d, kind);
+        input.worlds.push(SemanticWorld::from_parts(
+            format!("{kind:?}"),
+            &model,
+            &free,
+            justice.clone(),
+        ));
+        input.corpus.push(CorpusController::from_parts(
+            format!("free (driving) @ {kind:?}"),
+            format!("{kind:?}"),
+            &model,
+            &free,
+            justice,
+        ));
+    }
+
+    let demos: [(&str, &[&str], ScenarioKind); 4] = [
+        (
+            "turn right (before fine-tuning)",
+            &RIGHT_TURN_BEFORE,
+            ScenarioKind::TrafficLight,
+        ),
+        (
+            "turn right (after fine-tuning)",
+            &RIGHT_TURN_AFTER,
+            ScenarioKind::TrafficLight,
+        ),
+        (
+            "turn left (before fine-tuning)",
+            &LEFT_TURN_BEFORE,
+            ScenarioKind::LeftTurnSignal,
+        ),
+        (
+            "turn left (after fine-tuning)",
+            &LEFT_TURN_AFTER,
+            ScenarioKind::LeftTurnSignal,
+        ),
+    ];
+    for (name, steps, kind) in demos {
+        let options = FsaOptions {
+            non_blocking: ActSet::singleton(d.stop),
+            ..FsaOptions::default()
+        };
+        let ctrl = synthesize(name, steps, &lexicon, options).expect("paper demo steps align");
+        let ctrl = with_default_action(&ctrl, d.stop);
+        input.corpus.push(CorpusController::from_parts(
+            name,
+            format!("{kind:?}"),
+            &scenario_model(&d, kind),
+            &ctrl,
+            scenario_justice(&d, kind),
+        ));
+    }
+    input
+}
+
+/// Semantic-analysis input for the warehouse domain: the 8-rule book
+/// deployed against the floor world, with the four task controllers plus
+/// the free controller as the discrimination corpus.
+pub fn warehouse_semantic_input() -> SemanticInput {
+    let w = WarehouseDomain::new();
+    let free = free_controller(
+        "free (warehouse)",
+        &[w.move_forward, w.pick, w.place, w.wait, w.dock].map(ActSet::singleton),
+    );
+    let floor = w.floor_model();
+    let justice = warehouse_justice(&w);
+
+    let mut input = SemanticInput {
+        specs: warehouse_specs(&w),
+        vocab: Some(w.vocab.clone()),
+        worlds: vec![SemanticWorld::from_parts(
+            "WarehouseFloor",
+            &floor,
+            &free,
+            justice.clone(),
+        )],
+        ..Default::default()
+    };
+    input.corpus.push(CorpusController::from_parts(
+        "free (warehouse)",
+        "WarehouseFloor",
+        &floor,
+        &free,
+        justice.clone(),
+    ));
+    for (name, steps) in WAREHOUSE_STEPS {
+        let options = FsaOptions {
+            non_blocking: ActSet::singleton(w.wait),
+            ..FsaOptions::default()
+        };
+        let ctrl =
+            synthesize(name, steps, &w.lexicon, options).expect("canonical warehouse steps align");
+        let ctrl = with_default_action(&ctrl, w.wait);
+        input.corpus.push(CorpusController::from_parts(
+            name,
+            "WarehouseFloor",
+            &floor,
+            &ctrl,
+            justice.clone(),
+        ));
+    }
+    input
+}
+
+/// A deliberately broken rule book the semantic gate must reject: both
+/// rules are individually satisfiable (the syntactic pass stays silent)
+/// but they share no fair path under the world model, so every controller
+/// is capped below a perfect score (`SL303`). Used by the CLI exit-code
+/// test and as a living example of what the semantic pass adds over the
+/// syntactic one.
+pub fn conflicting_semantic_input() -> SemanticInput {
+    let mut vocab = Vocab::new();
+    let at_junction = vocab.add_prop("at junction").expect("fresh vocab");
+    vocab.add_act("go").expect("fresh vocab");
+    vocab.add_act("wait").expect("fresh vocab");
+    let go = vocab.act("go").expect("registered");
+    let wait = vocab.act("wait").expect("registered");
+
+    // A one-state world that is always at the junction.
+    let mut model = WorldModel::new("junction");
+    let s = model.add_state(PropSet::singleton(at_junction));
+    model.add_transition(s, s);
+    let free = free_controller("free", &[ActSet::singleton(go), ActSet::singleton(wait)]);
+
+    let spec = |name: &str, description: &str, src: &str| Spec {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        formula: parse(src, &vocab).expect("preset formula parses"),
+    };
+    SemanticInput {
+        specs: vec![
+            spec("progress", "the robot keeps making progress", "G F go"),
+            spec(
+                "caution",
+                "never proceed while at the junction",
+                "G (\"at junction\" -> !go)",
+            ),
+        ],
+        worlds: vec![SemanticWorld::from_parts(
+            "junction",
+            &model,
+            &free,
+            Vec::new(),
+        )],
+        corpus: Vec::new(),
+        vocab: Some(vocab),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +420,40 @@ mod tests {
                 .collect();
             assert!(warnings.is_empty(), "{warnings:?}");
         }
+    }
+
+    /// The semantic acceptance bar: shipped rule books are free of
+    /// `SL30x` errors and warnings under their deployed worlds and
+    /// corpus, so the `--semantic --deny-warnings` CI gate passes.
+    #[test]
+    fn shipped_rule_books_are_semantically_clean() {
+        for input in [driving_semantic_input(), warehouse_semantic_input()] {
+            let diags = crate::semantic::analyze(&input);
+            let loud: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity != Severity::Note)
+                .collect();
+            assert!(loud.is_empty(), "{loud:?}");
+        }
+    }
+
+    /// The conflict demo is rejected by the semantic pass (`SL303`
+    /// error) but is invisible to the syntactic one — the motivating
+    /// example for the whole `SL3xx` family.
+    #[test]
+    fn conflict_demo_is_rejected_semantically_but_not_syntactically() {
+        let input = conflicting_semantic_input();
+        let diags = crate::semantic::analyze(&input);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code.code() == "SL303" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+        let syntactic = crate::lint_specs(&input.specs, &[], input.vocab.as_ref());
+        assert!(
+            !syntactic.iter().any(|d| d.severity == Severity::Error),
+            "{syntactic:?}"
+        );
     }
 }

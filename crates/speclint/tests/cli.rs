@@ -70,4 +70,39 @@ fn usage_errors_exit_two() {
     let out = speclint(&["--format", "yaml"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("yaml"));
+
+    let out = speclint(&["--book", "cookbook"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cookbook"));
+}
+
+/// JSON output is deterministic: two runs produce byte-identical
+/// reports. Diagnostics are emitted in canonical (subject, code,
+/// element, message) order, so this holds regardless of analysis
+/// iteration order.
+#[test]
+fn json_output_is_byte_identical_across_runs() {
+    let first = speclint(&["--format", "json", "--book", "warehouse"]);
+    let second = speclint(&["--format", "json", "--book", "warehouse"]);
+    assert!(first.status.success());
+    assert_eq!(first.stdout, second.stdout, "JSON report is not stable");
+}
+
+/// The semantic gate rejects the deliberately conflicting preset book
+/// with exit 1 (its two rules are individually satisfiable, so the
+/// syntactic pass alone accepts them), and the JSON report is pinned.
+/// To update: `cargo run -p speclint -- --semantic --book conflict-demo
+/// --format json > crates/speclint/tests/golden/semantic_conflict.json`
+#[test]
+fn semantic_gate_rejects_conflicting_book() {
+    let out = speclint(&["--semantic", "--book", "conflict-demo", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "SL303 must fail the gate");
+    let got = String::from_utf8(out.stdout).expect("utf-8 output");
+    let golden = include_str!("golden/semantic_conflict.json");
+    assert_eq!(got.trim_end(), golden.trim_end());
+    assert!(got.contains("SL303"), "{got}");
+
+    // The syntactic pass cannot see the conflict: same book, exit 0.
+    let out = speclint(&["--book", "conflict-demo", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(0), "syntactic pass should accept");
 }
