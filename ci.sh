@@ -2,12 +2,15 @@
 # CI gate: formatting, lints, docs, tests, the speclint static-analysis
 # pass over the shipped rule books, controllers and step lists, the
 # specsem semantic analysis of the rule books under their world models,
-# the unsafe-code audit, the certkit certification +
-# explicit-vs-symbolic differential suite, an instrumented bench smoke
-# run validated against the obskit.bench.v1 report schema
-# (metrics_check), and byte-equality gates proving the performance and
-# gating knobs (--threads, DPO ref cache, semantic pre-flight) never
-# change artifacts.
+# the unsafe-code audit, the conckit concurrency model-checking gate
+# (exhaustive interleaving exploration of the parkit pool/deque and the
+# sharded verdict cache, plus a miri pass when the interpreter is
+# installed), the certkit certification + explicit-vs-symbolic
+# differential suite, an instrumented bench smoke run validated against
+# the obskit.bench.v1 report schema (metrics_check), and byte-equality
+# gates proving the performance and gating knobs (--threads, DPO ref
+# cache, verdict-cache capacity, semantic pre-flight) never change
+# artifacts.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,6 +26,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> model-feature tests (parkit under conckit's exploring scheduler)"
+cargo clippy -q -p conckit -p parkit -p bench --all-targets \
+    --features bench/model -- -D warnings
+cargo test -q -p conckit -p parkit --features conckit/model,parkit/model
+
+echo "==> miri gate (parkit + conckit under the interpreter)"
+if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test -p parkit -p conckit
+else
+    echo "miri gate: SKIPPED (cargo miri not installed)"
+fi
+
 echo "==> speclint --deny-warnings"
 cargo run -q -p speclint -- --deny-warnings
 
@@ -32,6 +47,14 @@ cargo run -q --release -p speclint -- --semantic --deny-warnings
 echo "==> unsafe-code audit (every unsafe site carries a SAFETY comment)"
 cargo run -q --release -p bench --bin unsafe_audit -- --no-obs
 
+echo "==> conckit exploration gate (model-checked pool/deque/cache interleavings)"
+conc_report="$(mktemp -t BENCH_conc.XXXXXX.json)"
+trap 'rm -f "$conc_report"' EXIT
+cargo run -q --release -p bench --features model --bin conc_check -- \
+    --metrics-out "$conc_report"
+cargo run -q --release -p bench --bin metrics_check -- "$conc_report" \
+    --require conckit.schedules,conckit.steps,conckit.violations,conckit.max_depth
+
 echo "==> certkit gate (certification + differential suite)"
 cargo run -q -p certkit --release
 
@@ -40,12 +63,12 @@ smoke_report="$(mktemp -t BENCH_smoke.XXXXXX.json)"
 smoke_art1="$(mktemp -t headline_t1.XXXXXX.json)"
 smoke_art2="$(mktemp -t headline_t2.XXXXXX.json)"
 smoke_art3="$(mktemp -t headline_norefcache.XXXXXX.json)"
-trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3"' EXIT
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$conc_report"' EXIT
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --threads 2 --metrics-out "$smoke_report" \
     --artifacts-out "$smoke_art2" > /dev/null
 cargo run -q --release -p bench --bin metrics_check -- "$smoke_report" \
-    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,verify.cache_entries,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses,speclint.semantic_rules,speclint.semantic_checks,speclint.semantic_errors,speclint.semantic_notes \
+    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,verify.cache_entries,verify.cache_evictions,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses,speclint.semantic_rules,speclint.semantic_checks,speclint.semantic_errors,speclint.semantic_notes \
     --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval,pipeline.score_batch,pipeline.score,dpo.ref,dpo.epoch,dpo.forward,dpo.backward
 
 echo "==> parallel determinism gate (headline artifacts, --threads 1 vs 2)"

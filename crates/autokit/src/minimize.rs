@@ -44,7 +44,7 @@ impl Controller {
     /// assert!(min.num_states() < ctrl.num_states());
     /// # Ok::<(), autokit::AutokitError>(())
     /// ```
-    // The rebuild maps valid indices through a total `block` function, so
+    // ALLOW: the rebuild maps valid indices through a total `block` function, so
     // the final `build` cannot fail; a panic here is a bug in this method.
     #[allow(clippy::expect_used)]
     pub fn bisimulation_quotient(&self) -> Controller {

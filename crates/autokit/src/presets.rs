@@ -76,7 +76,7 @@ fn hamming(a: PropSet, b: PropSet) -> u32 {
 
 impl DrivingDomain {
     /// Builds the paper's driving vocabulary.
-    // The vocabulary is built from distinct literals into a fresh `Vocab`;
+    // ALLOW: the vocabulary is built from distinct literals into a fresh `Vocab`;
     // an `expect` failure here is a bug in this constructor.
     #[allow(clippy::expect_used)]
     pub fn new() -> Self {

@@ -2,6 +2,9 @@
 //! sequence log-likelihood gradients (the dominant DPO cost) and one DPO
 //! pair step, under full fine-tuning and LoRA.
 
+// ALLOW: benchmark harness — panicking on a broken setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpo::{dpo_loss_grad, PreferencePair};
 use rand::rngs::StdRng;

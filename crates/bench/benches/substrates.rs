@@ -3,6 +3,9 @@
 //! verification (the per-response cost of automated feedback), GLM2FSA
 //! synthesis, LTLf monitoring and simulator throughput.
 
+// ALLOW: benchmark harness — panicking on a broken setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use autokit::Product;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dpo_af::domain::DomainBundle;

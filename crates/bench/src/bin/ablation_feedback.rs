@@ -7,10 +7,10 @@
 //! two feedback sources agree). The paper argues the two are consistent,
 //! so empirical evaluation can substitute when no world model exists.
 
-// Experiment binary: panicking on internal invariants is acceptable here
+// ALLOW: experiment binary — panicking on internal invariants is acceptable here
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-#![allow(clippy::field_reassign_with_default)] // config structs are built by
+#![allow(clippy::field_reassign_with_default)] // ALLOW: config structs are built by
                                                // mutating a Default, which reads better than giant struct-update literals
 
 use bench::{table, BenchCli};

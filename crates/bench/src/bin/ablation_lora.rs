@@ -2,10 +2,10 @@
 //! adaptation): DPO quality and cost as a function of adapter rank,
 //! against full fine-tuning.
 
-// Experiment binary: panicking on internal invariants is acceptable here
+// ALLOW: experiment binary — panicking on internal invariants is acceptable here
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-#![allow(clippy::field_reassign_with_default)] // config structs are built by
+#![allow(clippy::field_reassign_with_default)] // ALLOW: config structs are built by
                                                // mutating a Default, which reads better than giant struct-update literals
 
 use bench::{table, BenchCli};

@@ -3,7 +3,7 @@
 //! measures the realized pair yield (ties produce no pair) and the
 //! quality gap between winners and losers as `m` grows.
 
-// Experiment binary: panicking on internal invariants is acceptable here
+// ALLOW: experiment binary — panicking on internal invariants is acceptable here
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 

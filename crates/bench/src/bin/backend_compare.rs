@@ -7,7 +7,7 @@
 //! the transition-dense "conservative" model where symbolic methods earn
 //! their keep.
 
-// Experiment binary: panicking on internal invariants is acceptable here
+// ALLOW: experiment binary — panicking on internal invariants is acceptable here
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 

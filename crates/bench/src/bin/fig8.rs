@@ -1,7 +1,7 @@
 //! Figure 8: DPO fine-tuning statistics (loss, accuracy, marginal
 //! preference) per epoch, mean with min/max band over five seeds.
 
-// Experiment binary: panicking on internal invariants is acceptable here
+// ALLOW: experiment binary — panicking on internal invariants is acceptable here
 // (the workspace unwrap/expect lints target library code paths).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 

@@ -10,7 +10,7 @@
 //! `dpo.backward`) plus the tape/cache counters, and records everything
 //! in the usual `--metrics-out` report.
 
-#![allow(clippy::expect_used)]
+#![allow(clippy::expect_used)] // ALLOW: profiling binary — panicking on a broken setup is the gate.
 
 use bench::{table, BenchCli};
 use dpo::DpoTrainer;

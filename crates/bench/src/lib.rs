@@ -137,6 +137,7 @@ impl BenchCli {
     ///
     /// Panics when a requested output file cannot be written — a bench
     /// run that silently drops its report would poison the perf record.
+    // ALLOW: a bench run that silently drops its report would poison the perf record.
     #[allow(clippy::expect_used)]
     pub fn finish(&self) -> obskit::Snapshot {
         let mut snapshot = obskit::snapshot();

@@ -186,7 +186,7 @@ pub fn repro_json(dis: &Disagreement) -> Result<String, serde_json::Error> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(clippy::unwrap_used)]
+    #![allow(clippy::unwrap_used)] // ALLOW: test-only panics are the assertion mechanism.
     use super::*;
     use autokit::{ActSet, ProductState, PropSet, Vocab};
     use ltlcheck::parse;

@@ -15,7 +15,7 @@
 //!
 //! Usage: `certkit [--random N] [--seed S]`
 
-// A CI gate terminates on the first inconsistency; panicking accessors
+// ALLOW: a CI gate terminates on the first inconsistency; panicking accessors
 // are the point here, not a liability.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 

@@ -8,7 +8,7 @@
 //! so certification runs against exactly the artifacts the pipeline
 //! verifies.
 
-// Preset construction mirrors speclint::presets: everything is built
+// ALLOW: preset construction mirrors speclint::presets: everything is built
 // from compile-time constants, so a failure is a bug in this crate.
 #![allow(clippy::expect_used)]
 

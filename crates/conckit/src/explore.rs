@@ -1,0 +1,323 @@
+//! The schedule explorer: bounded-preemption DFS over the scheduling
+//! tree with sleep-set pruning, plus deterministic replay from a
+//! schedule id.
+//!
+//! Exploration is **re-execution based** (in the CHESS lineage): the
+//! model body runs once per schedule, the runtime records the choice
+//! made and the set of enabled threads (with their pending operations)
+//! at every scheduling point, and the explorer backtracks to the
+//! deepest point with an untried alternative. Two prunings keep the
+//! tree manageable:
+//!
+//! * **Preemption bound.** Switching away from a thread that could have
+//!   kept running costs one preemption; schedules with more than
+//!   [`Config::preemption_bound`] preemptions are not explored. Forced
+//!   switches (the running thread blocked or finished) are free, so
+//!   every *blocking* interleaving is still reached. Empirically, small
+//!   bounds (2–3) find almost all real concurrency bugs.
+//! * **Sleep sets.** After the subtree for choice `t` at a node is
+//!   exhausted, `t` goes to sleep at that node; sibling subtrees skip
+//!   any sleeping thread whose pending operation is independent of
+//!   every operation executed since (same-object test on the declared
+//!   ops). This prunes schedules that are Mazurkiewicz-equivalent to
+//!   ones already explored, and never hides a deadlock or assertion
+//!   failure.
+//!
+//! Object ids inside a trace are canonicalized by order of first
+//! appearance before independence tests, so they are stable across
+//! executions of a deterministic body even though the runtime allocates
+//! process-unique raw ids.
+
+use crate::rt::{self, Exec, Op, StepInfo, Violation};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Exploration bounds.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum preemptions per schedule (`None` = unbounded — full DFS).
+    pub preemption_bound: Option<usize>,
+    /// Maximum schedules to explore before giving up (the report is then
+    /// marked incomplete).
+    pub max_schedules: u64,
+    /// Maximum scheduling points in a single execution (runaway guard;
+    /// exceeding it is reported as [`Violation::StepLimit`]).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_schedules: 200_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    /// A config with the given preemption bound and default budgets.
+    pub fn with_bound(bound: usize) -> Config {
+        Config {
+            preemption_bound: Some(bound),
+            ..Config::default()
+        }
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules (complete executions) explored.
+    pub schedules: u64,
+    /// Total scheduling points across all executions.
+    pub steps: u64,
+    /// Deepest schedule seen (scheduling points in one execution).
+    pub max_depth: usize,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+    /// Whether the bounded schedule space was exhausted. `false` when
+    /// the `max_schedules` budget ran out first.
+    pub complete: bool,
+}
+
+impl Report {
+    /// Panics with a replay-ready message when a violation was found or
+    /// the exploration did not exhaust its bounded schedule space.
+    ///
+    /// # Panics
+    ///
+    /// See above — this is the assertion helper model tests call.
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "conckit violation after {} schedule(s): {v:?}\n\
+                 replay with conckit::replay(&config, {:?}, body)",
+                self.schedules,
+                v.schedule_id()
+            );
+        }
+        assert!(
+            self.complete,
+            "exploration incomplete: schedule budget exhausted after {} schedules",
+            self.schedules
+        );
+    }
+}
+
+/// `(canonical object, writes)` — the independence key of an op.
+type OpKey = (Option<u64>, bool);
+
+/// Two ops commute iff they touch different objects, or the same object
+/// read-only. Ops with no object (spawn/join/start/yield) are global:
+/// dependent with everything.
+fn independent(a: OpKey, b: OpKey) -> bool {
+    match (a.0, b.0) {
+        (Some(x), Some(y)) => x != y || (!a.1 && !b.1),
+        _ => false,
+    }
+}
+
+/// One node on the DFS stack (a scheduling point along the current
+/// schedule prefix).
+struct Frame {
+    /// Enabled threads and their pending-op keys at this point.
+    enabled: Vec<(usize, OpKey)>,
+    /// The thread holding the turn when the decision was made, and
+    /// whether it was enabled (preemption accounting).
+    yielder: usize,
+    yielder_enabled: bool,
+    /// Choices already fully explored from this node.
+    tried: Vec<usize>,
+    /// Sleeping threads (with op keys): skipped as candidates.
+    sleep: Vec<(usize, OpKey)>,
+    /// The choice the current path takes at this node.
+    chosen: usize,
+    /// Preemptions consumed strictly before this node.
+    preemptions_before: usize,
+}
+
+/// Canonicalizes raw object ids by order of first appearance in the
+/// trace, so op keys are comparable across executions.
+fn canonical_keys(trace: &[StepInfo]) -> Vec<Vec<(usize, OpKey)>> {
+    let mut ids: HashMap<u64, u64> = HashMap::new();
+    let mut next = 0u64;
+    let mut canon = |op: Op| -> OpKey {
+        let (obj, write) = op.key();
+        let obj = obj.map(|raw| {
+            *ids.entry(raw).or_insert_with(|| {
+                next += 1;
+                next
+            })
+        });
+        (obj, write)
+    };
+    trace
+        .iter()
+        .map(|step| step.enabled.iter().map(|&(t, op)| (t, canon(op))).collect())
+        .collect()
+}
+
+fn op_key_of(keys: &[(usize, OpKey)], tid: usize) -> OpKey {
+    keys.iter()
+        .find(|&&(t, _)| t == tid)
+        .map(|&(_, k)| k)
+        .unwrap_or((None, true))
+}
+
+struct Explorer {
+    frames: Vec<Frame>,
+    bound: Option<usize>,
+}
+
+impl Explorer {
+    /// Extends the frame stack with the steps of a fresh execution
+    /// beyond the prescribed prefix.
+    fn integrate(&mut self, trace: &[StepInfo]) {
+        let keys = canonical_keys(trace);
+        for depth in self.frames.len()..trace.len() {
+            let step = &trace[depth];
+            // Child sleep set: parent's sleeping threads whose op is
+            // independent of the op the parent's chosen edge executed.
+            let sleep = if depth == 0 {
+                Vec::new()
+            } else {
+                let parent_chosen_key = op_key_of(&keys[depth - 1], trace[depth - 1].chosen);
+                self.frames[depth - 1]
+                    .sleep
+                    .iter()
+                    .copied()
+                    .filter(|&(_, k)| independent(k, parent_chosen_key))
+                    .collect()
+            };
+            let preemptions_before = if depth == 0 {
+                0
+            } else {
+                let prev = &self.frames[depth - 1];
+                let preempted = prev.yielder_enabled && prev.chosen != prev.yielder;
+                prev.preemptions_before + usize::from(preempted)
+            };
+            self.frames.push(Frame {
+                enabled: keys[depth].clone(),
+                yielder: step.yielder,
+                yielder_enabled: step.yielder_enabled,
+                tried: vec![step.chosen],
+                sleep,
+                chosen: step.chosen,
+                preemptions_before,
+            });
+        }
+    }
+
+    /// Backtracks to the deepest node with an untried, non-sleeping,
+    /// bound-respecting alternative and redirects the path there.
+    /// Returns the new prescribed prefix, or `None` when the bounded
+    /// space is exhausted.
+    fn backtrack(&mut self) -> Option<Vec<usize>> {
+        while let Some(frame) = self.frames.last_mut() {
+            // The just-finished choice goes to sleep at this node.
+            let finished_key = op_key_of(&frame.enabled, frame.chosen);
+            frame.sleep.push((frame.chosen, finished_key));
+            let candidate = frame.enabled.iter().map(|&(t, _)| t).find(|&t| {
+                if frame.tried.contains(&t) || frame.sleep.iter().any(|&(s, _)| s == t) {
+                    return false;
+                }
+                let preemptive = frame.yielder_enabled && t != frame.yielder;
+                match self.bound {
+                    Some(b) => frame.preemptions_before + usize::from(preemptive) <= b,
+                    None => true,
+                }
+            });
+            match candidate {
+                Some(t) => {
+                    frame.tried.push(t);
+                    frame.chosen = t;
+                    return Some(self.frames.iter().map(|f| f.chosen).collect());
+                }
+                None => {
+                    self.frames.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs the body once under the prescribed choice prefix. Returns the
+/// recorded trace and the violation, if any.
+fn run_once<F: Fn()>(
+    prefix: Vec<usize>,
+    max_steps: usize,
+    body: &F,
+) -> (Vec<StepInfo>, Option<Violation>) {
+    let exec = Exec::new(prefix, max_steps);
+    rt::set_current(Some((exec.clone(), 0)));
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    match outcome {
+        Ok(()) => exec.finish_thread(0),
+        Err(payload) => {
+            if !rt::is_abort(payload.as_ref()) {
+                // The body itself panicked (assertion failure).
+                exec.record_thread_panic(0, payload.as_ref());
+            }
+            // Mark main finished without scheduling so live-count
+            // bookkeeping stays consistent during teardown.
+            exec.finish_thread(0);
+        }
+    }
+    exec.wait_all_done();
+    rt::set_current(None);
+    (exec.trace(), exec.violation())
+}
+
+/// Exhaustively explores the interleavings of `body` within the
+/// configured bounds. Stops at the first violation.
+///
+/// The body must be deterministic apart from scheduling: same inputs,
+/// no wall-clock or OS randomness. It runs once per schedule.
+pub fn explore<F: Fn()>(config: &Config, body: F) -> Report {
+    let mut explorer = Explorer {
+        frames: Vec::new(),
+        bound: config.preemption_bound,
+    };
+    let mut report = Report {
+        schedules: 0,
+        steps: 0,
+        max_depth: 0,
+        violation: None,
+        complete: false,
+    };
+    let mut prefix = Vec::new();
+    loop {
+        let (trace, violation) = run_once(prefix, config.max_steps, &body);
+        report.schedules += 1;
+        report.steps += trace.len() as u64;
+        report.max_depth = report.max_depth.max(trace.len());
+        if violation.is_some() {
+            report.violation = violation;
+            return report;
+        }
+        explorer.integrate(&trace);
+        match explorer.backtrack() {
+            Some(next) => prefix = next,
+            None => {
+                report.complete = true;
+                return report;
+            }
+        }
+        if report.schedules >= config.max_schedules {
+            return report;
+        }
+    }
+}
+
+/// Re-executes `body` under the exact schedule identified by `id`
+/// (as carried by a [`Violation`]). Returns the violation the replayed
+/// schedule produces, if any — deterministic bodies reproduce the
+/// original one bit-for-bit.
+pub fn replay<F: Fn()>(config: &Config, id: &str, body: F) -> Option<Violation> {
+    let prefix = rt::decode_schedule(id)
+        .unwrap_or_else(|| panic!("malformed schedule id {id:?} (expected v1:<base36 digits>)"));
+    let (_trace, violation) = run_once(prefix, config.max_steps, &body);
+    violation
+}

@@ -9,14 +9,21 @@
 //! automaton), so the pipeline caches verdicts keyed by
 //! `(scenario kind, response text)`.
 //!
-//! The cache is sharded: each key hashes to one of [`SHARDS`] independent
-//! `Mutex<HashMap>` shards, so the parallel scoring fan-out rarely
-//! contends on a single lock. Hit/miss tallies are kept in local atomics
-//! (readable without the global recorder) and mirrored to the obskit
-//! counters `verify.cache_hits` / `verify.cache_misses`; the number of
-//! distinct memoized keys is mirrored to the `verify.cache_entries`
-//! gauge — the observability hook for the bounded-LRU work, which needs
-//! the resident-size trend before picking a bound.
+//! The concurrency structure lives in [`parkit::ShardedMap`] — a
+//! sharded, bounded, insertion-ordered map whose interleaving behavior
+//! is model-checked by conckit alongside the pool that drives traffic
+//! into it. This module is the domain wrapper: key shape, hit/miss
+//! bookkeeping, and the obskit mirror (`verify.cache_hits` /
+//! `verify.cache_misses` counters, `verify.cache_evictions` counter,
+//! `verify.cache_entries` gauge).
+//!
+//! **Bounded.** The cache holds at most `capacity` verdicts (split
+//! across [`SHARDS`] shards); inserting past the bound evicts the
+//! oldest entry in the full shard, FIFO. An evicted verdict is not an
+//! error — the next lookup misses and recomputes, and because verdicts
+//! are pure, a bounded cache produces byte-identical pipeline artifacts
+//! to an unbounded one (the pipeline tests assert this at a
+//! pathologically tiny capacity).
 //!
 //! **Invalidation:** there is none, by design. A cache lives inside one
 //! [`crate::pipeline::DpoAf`], whose rule book, lexicon and scenario
@@ -26,11 +33,8 @@
 
 use crate::feedback::CertCounters;
 use drivesim::ScenarioKind;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use parkit::ShardedMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Number of independent shards. Power of two, comfortably above any
 /// realistic pool width so two workers rarely map to the same lock.
@@ -50,46 +54,33 @@ pub struct CachedScore {
     pub cert: CertCounters,
 }
 
-/// A sharded `(scenario, text) → verdict` memo table.
-#[derive(Debug, Default)]
+/// A sharded, bounded `(scenario, text) → verdict` memo table.
+#[derive(Debug)]
 pub struct VerifyCache {
-    shards: [Mutex<HashMap<(ScenarioKind, String), CachedScore>>; SHARDS],
+    map: ShardedMap<(ScenarioKind, String), CachedScore>,
     hits: AtomicU64,
     misses: AtomicU64,
-    entries: AtomicU64,
-}
-
-fn lock_shard(
-    shard: &Mutex<HashMap<(ScenarioKind, String), CachedScore>>,
-) -> std::sync::MutexGuard<'_, HashMap<(ScenarioKind, String), CachedScore>> {
-    match shard.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    /// Fresh keys ever inserted (monotone; live entries = fresh − evicted).
+    fresh: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl VerifyCache {
-    /// An empty cache.
-    pub fn new() -> VerifyCache {
-        VerifyCache::default()
-    }
-
-    fn shard(
-        &self,
-        scenario: ScenarioKind,
-        text: &str,
-    ) -> &Mutex<HashMap<(ScenarioKind, String), CachedScore>> {
-        let mut hasher = DefaultHasher::new();
-        scenario.hash(&mut hasher);
-        text.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARDS]
+    /// An empty cache holding at most `capacity` verdicts (`None` =
+    /// unbounded; see the module docs for the per-shard split).
+    pub fn new(capacity: Option<usize>) -> VerifyCache {
+        VerifyCache {
+            map: ShardedMap::new(SHARDS, capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
     }
 
     /// Looks up a memoized verdict, updating the hit/miss counters.
     pub fn lookup(&self, scenario: ScenarioKind, text: &str) -> Option<CachedScore> {
-        let found = lock_shard(self.shard(scenario, text))
-            .get(&(scenario, text.to_owned()))
-            .copied();
+        let found = self.map.get(&(scenario, text.to_owned()));
         match found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -105,14 +96,19 @@ impl VerifyCache {
 
     /// Memoizes a freshly computed verdict. Verdicts are deterministic,
     /// so a racing double-insert of the same key is idempotent. Fresh
-    /// keys update the `verify.cache_entries` gauge.
+    /// keys update the `verify.cache_entries` gauge; inserts that push a
+    /// shard past its bound evict its oldest entry and bump the
+    /// `verify.cache_evictions` counter.
     pub fn insert(&self, scenario: ScenarioKind, text: &str, score: CachedScore) {
-        let fresh = lock_shard(self.shard(scenario, text))
-            .insert((scenario, text.to_owned()), score)
-            .is_none();
-        if fresh {
-            let entries = self.entries.fetch_add(1, Ordering::Relaxed) + 1;
-            obskit::gauge_set("verify.cache_entries", entries as f64);
+        let outcome = self.map.insert((scenario, text.to_owned()), score);
+        if outcome.evicted {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            obskit::counter_add("verify.cache_evictions", 1);
+        }
+        if outcome.fresh {
+            let fresh = self.fresh.fetch_add(1, Ordering::Relaxed) + 1;
+            let live = fresh.saturating_sub(self.evicted.load(Ordering::Relaxed));
+            obskit::gauge_set("verify.cache_entries", live as f64);
         }
     }
 
@@ -124,14 +120,20 @@ impl VerifyCache {
         )
     }
 
-    /// Number of distinct memoized `(scenario, text)` keys.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    /// Entries displaced by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
-    /// `true` when nothing has been memoized yet.
+    /// Number of distinct memoized `(scenario, text)` keys currently
+    /// resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is currently memoized.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 }
 
@@ -141,7 +143,7 @@ mod tests {
 
     #[test]
     fn lookup_insert_roundtrip_and_stats() {
-        let cache = VerifyCache::new();
+        let cache = VerifyCache::new(None);
         let score = CachedScore {
             num_satisfied: 12,
             cert: CertCounters::default(),
@@ -159,17 +161,17 @@ mod tests {
         assert!(!cache.is_empty());
         // Re-inserting an existing key does not inflate the entry count.
         cache.insert(ScenarioKind::TrafficLight, "stop .", score);
-        assert_eq!(cache.entries.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
         cache.insert(ScenarioKind::Roundabout, "stop .", score);
-        assert_eq!(cache.entries.load(Ordering::Relaxed), 2);
-        assert_eq!(cache.len() as u64, cache.entries.load(Ordering::Relaxed));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
     }
 
     /// Keys spread over multiple shards, and concurrent mixed
     /// lookup/insert traffic stays consistent.
     #[test]
     fn sharded_access_under_contention() {
-        let cache = VerifyCache::new();
+        let cache = VerifyCache::new(None);
         let texts: Vec<String> = (0..200).map(|i| format!("step list {i} .")).collect();
         std::thread::scope(|s| {
             let cache = &cache;
@@ -194,5 +196,39 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(hits, 200);
         assert_eq!(misses, 0);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    /// A bounded cache stays within its (rounded-up, per-shard) budget,
+    /// counts its evictions, and keeps serving correct verdicts — an
+    /// evicted key just misses and can be re-inserted.
+    #[test]
+    fn tiny_capacity_evicts_fifo_and_keeps_serving() {
+        let cache = VerifyCache::new(Some(SHARDS)); // one entry per shard
+        let score_of = |n: usize| CachedScore {
+            num_satisfied: n,
+            cert: CertCounters::default(),
+        };
+        let texts: Vec<String> = (0..100).map(|i| format!("plan {i} .")).collect();
+        for (i, t) in texts.iter().enumerate() {
+            cache.insert(ScenarioKind::TrafficLight, t, score_of(i % 16));
+        }
+        assert!(cache.len() <= SHARDS, "resident {}", cache.len());
+        assert_eq!(cache.evictions(), 100 - cache.len() as u64);
+        // Every resident verdict is intact.
+        let mut resident = 0;
+        for (i, t) in texts.iter().enumerate() {
+            if let Some(v) = cache.lookup(ScenarioKind::TrafficLight, t) {
+                assert_eq!(v, score_of(i % 16), "{t}");
+                resident += 1;
+            }
+        }
+        assert_eq!(resident, cache.len());
+        // An evicted key can come back; the map never wedges.
+        cache.insert(ScenarioKind::TrafficLight, &texts[0], score_of(0));
+        assert_eq!(
+            cache.lookup(ScenarioKind::TrafficLight, &texts[0]),
+            Some(score_of(0))
+        );
     }
 }

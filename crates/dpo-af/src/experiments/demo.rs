@@ -65,7 +65,7 @@ pub struct DemoComparison {
     pub smv_module: String,
 }
 
-// The paper's demonstration step lists align by construction (the
+// ALLOW: the paper's demonstration step lists align by construction (the
 // speclint presets tests assert the same invariant).
 #[allow(clippy::expect_used)]
 fn verify_steps(

@@ -21,7 +21,7 @@ pub struct HeadlineResult {
 /// epoch-0 point is "before", the final checkpoint is "after". Scores are
 /// averaged over training and validation tasks (they are reported per
 /// split in Figure 9; the abstract pools them).
-// `run()` always records the epoch-0 checkpoint before returning.
+// ALLOW: `run()` always records the epoch-0 checkpoint before returning.
 #[allow(clippy::expect_used)]
 pub fn from_artifacts(artifacts: &RunArtifacts) -> HeadlineResult {
     let first = artifacts

@@ -88,6 +88,13 @@ pub struct PipelineConfig {
     /// responses skip synthesis and model checking. Never changes scores
     /// or certified counters; on by default.
     pub verify_cache: bool,
+    /// Maximum resident verdicts in the memo-cache (`None` = unbounded).
+    /// Past the bound the oldest entry in the affected shard is evicted
+    /// (FIFO) and `verify.cache_evictions` counts it. Purely a memory
+    /// knob: an evicted verdict recomputes on the next miss, so
+    /// artifacts are byte-identical at any capacity. The default bound
+    /// keeps a long-running service's cache a working set, not a leak.
+    pub verify_cache_capacity: Option<usize>,
     /// Precompute the frozen reference model's sequence log-probs once
     /// per DPO phase instead of re-running the reference forward for
     /// every pair visit. Exact memoization of a pure function — training
@@ -156,6 +163,7 @@ impl Default for PipelineConfig {
             certified: false,
             threads: 0,
             verify_cache: true,
+            verify_cache_capacity: Some(1 << 16),
             ref_cache: true,
             semantic_preflight: true,
         }
@@ -272,7 +280,7 @@ impl DpoAf {
         DpoAf {
             bundle: DomainBundle::new(),
             cert_counters: Mutex::new(CertCounters::default()),
-            cache: VerifyCache::new(),
+            cache: VerifyCache::new(config.verify_cache_capacity),
             pool: parkit::ThreadPool::with_threads(config.threads),
             config,
         }
@@ -456,7 +464,7 @@ impl DpoAf {
     /// artifact, is identical to the fully serial interleaved loop.
     /// Empirical feedback keeps that interleaved loop: its rollouts
     /// consume the RNG, so reordering them would change the run.
-    // Task ids come from the bundle itself, so sampling cannot see an
+    // ALLOW: task ids come from the bundle itself, so sampling cannot see an
     // out-of-range id; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
     pub fn collect_dataset(&self, lm: &CondLm, rng: &mut impl Rng) -> PreferenceDataset {
@@ -520,7 +528,7 @@ impl DpoAf {
     /// feedback the whole checkpoint's samples are drawn serially, then
     /// scored in one parallel fan-out (summing `usize` scores is
     /// order-independent, so the mean is exact at any thread count).
-    // Task ids come from the bundle itself, so sampling cannot see an
+    // ALLOW: task ids come from the bundle itself, so sampling cannot see an
     // out-of-range id; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
     pub fn evaluate(&self, lm: &CondLm, tasks: &[usize], rng: &mut impl Rng) -> f64 {
@@ -574,7 +582,7 @@ impl DpoAf {
     /// The returned `reference` is the original pre-trained model (the
     /// "before fine-tuning" baseline); each iteration's DPO reference is
     /// the policy snapshot entering that iteration.
-    // Task ids come from the bundle itself, so training cannot see
+    // ALLOW: task ids come from the bundle itself, so training cannot see
     // out-of-vocabulary tokens; fail loudly if it somehow does.
     #[allow(clippy::expect_used)]
     pub fn run(&self) -> RunArtifacts {
@@ -604,6 +612,7 @@ impl DpoAf {
             "pool.steals",
             "verify.cache_hits",
             "verify.cache_misses",
+            "verify.cache_evictions",
             "dpo.ref_cache_hits",
             "tape.nodes",
             "tape.grad_buffer_reuses",
@@ -764,18 +773,27 @@ mod tests {
 
     /// The scoring fan-out and the memo-cache are pure performance
     /// features: a smoke run serializes to the same bytes at 1 or 4
-    /// threads, cache on or off.
+    /// threads, cache on or off — and at a pathologically tiny cache
+    /// capacity, where almost every verdict is evicted and recomputed.
     #[test]
     fn artifacts_identical_across_threads_and_cache() {
         let mut cfg = PipelineConfig::smoke();
         cfg.threads = 1;
         cfg.verify_cache = true;
         let baseline = serde_json::to_string(&DpoAf::new(cfg.clone()).run()).expect("serializes");
-        for (threads, cache) in [(4, true), (1, false)] {
+        for (threads, cache, capacity) in [
+            (4, true, Some(1 << 16)),
+            (1, false, Some(1 << 16)),
+            (1, true, Some(4)),
+        ] {
             cfg.threads = threads;
             cfg.verify_cache = cache;
+            cfg.verify_cache_capacity = capacity;
             let run = serde_json::to_string(&DpoAf::new(cfg.clone()).run()).expect("serializes");
-            assert_eq!(baseline, run, "threads={threads} cache={cache}");
+            assert_eq!(
+                baseline, run,
+                "threads={threads} cache={cache} capacity={capacity:?}"
+            );
         }
     }
 

@@ -29,7 +29,7 @@ pub fn scenario_model(d: &DrivingDomain, kind: ScenarioKind) -> WorldModel {
 ///
 /// Mirrors NuSMV `JUSTICE` declarations; without them the liveness rules
 /// Φ₇/Φ₁₀/Φ₁₃ are unsatisfiable against a fully adversarial environment.
-// The justice conditions are propositional by construction.
+// ALLOW: the justice conditions are propositional by construction.
 #[allow(clippy::expect_used)]
 pub fn scenario_justice(d: &DrivingDomain, kind: ScenarioKind) -> Vec<Justice> {
     let clear_of = |props: &[autokit::PropId]| -> Ltl {

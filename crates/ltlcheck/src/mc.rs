@@ -507,7 +507,7 @@ pub(crate) fn find_fair_lasso(
 // Tarjan stack pops are internal invariants of the decomposition: an
 // `expect` failure here is a bug in this function, never an input
 // condition.
-#[allow(clippy::expect_used)]
+#[allow(clippy::expect_used)] // ALLOW: failure here is a bug in this function, never an input condition.
 fn explore(graph: &LabelGraph, buchi: &Buchi) -> Exploration {
     let matches = |g: u32, b: u32| -> bool {
         let (props, acts) = graph.labels[g as usize];
@@ -678,7 +678,7 @@ fn find_fair_scc(
 // SCC membership and witness lookups are internal invariants of the
 // decomposition: an `expect` failure here is a bug in this module, never
 // an input condition.
-#[allow(clippy::expect_used)]
+#[allow(clippy::expect_used)] // ALLOW: failure here is a bug in this module, never an input condition.
 fn extract_lasso(
     ex: &Exploration,
     graph: &LabelGraph,

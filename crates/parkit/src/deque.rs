@@ -12,8 +12,8 @@
 //! mutex is never held while a task runs.
 
 use crate::pool::Task;
+use conckit::sync::{Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// One worker's deque. Owner operates on the bottom, thieves on the top.
 #[derive(Default)]
@@ -24,7 +24,7 @@ pub(crate) struct WorkerDeque {
 /// Locks a deque, recovering from a poisoned mutex: the queue itself is
 /// always in a consistent state (push/pop are single operations), so a
 /// panicking task on another thread must not wedge the whole pool.
-fn lock(inner: &Mutex<VecDeque<Task>>) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+fn lock(inner: &Mutex<VecDeque<Task>>) -> MutexGuard<'_, VecDeque<Task>> {
     match inner.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -55,6 +55,9 @@ impl WorkerDeque {
 
 #[cfg(test)]
 mod tests {
+    // ALLOW: test-only panics are the assertion mechanism.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn boxed(v: &std::sync::Arc<std::sync::Mutex<Vec<u32>>>, n: u32) -> Task {
@@ -83,5 +86,28 @@ mod tests {
         let order = log.lock().expect("log lock").clone();
         assert_eq!(order, vec![1, 3]);
         assert_eq!(d.len(), 1);
+    }
+
+    /// A panic while holding the deque mutex (never possible from task
+    /// code, but conceivable from an allocator or instrumentation hook)
+    /// poisons it; `lock` recovers because push/pop leave the queue
+    /// consistent at every panic point.
+    #[test]
+    fn recovers_from_poisoned_mutex() {
+        let d = std::sync::Arc::new(WorkerDeque::default());
+        d.push(Box::new(|| {}));
+        let d2 = d.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = d2.inner.lock();
+            panic!("poison the deque mutex");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must panic");
+        // Every deque operation still works on the poisoned mutex.
+        d.push(Box::new(|| {}));
+        assert_eq!(d.len(), 2);
+        assert!(d.steal().is_some());
+        assert!(d.pop().is_some());
+        assert!(d.pop().is_none());
     }
 }

@@ -35,12 +35,19 @@
 #![warn(missing_docs)]
 
 mod deque;
+#[cfg(feature = "model")]
+pub mod models;
 mod pool;
+mod shard;
 
 pub use pool::{resolve_threads, Scope, ThreadPool};
+pub use shard::{InsertOutcome, ShardedMap};
 
 #[cfg(test)]
 mod tests {
+    // ALLOW: test-only panics are the assertion mechanism.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -59,6 +66,22 @@ mod tests {
         });
         let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
         assert_eq!(out, expect);
+    }
+
+    /// Determinism across pool widths with a task that actively invites
+    /// interleaving: the index-ordered join must erase scheduling.
+    #[test]
+    fn map_deterministic_across_widths_under_yielding() {
+        let items: Vec<u64> = (0..48).collect();
+        let f = |i: usize, &x: &u64| {
+            std::thread::yield_now();
+            x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i as u64)
+        };
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        for width in [1usize, 2, 4] {
+            let pool = ThreadPool::new(width);
+            assert_eq!(pool.map(&items, f), expect, "width {width}");
+        }
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! deterministic `map` join.
 
 use crate::deque::WorkerDeque;
+use conckit::sync::atomic::{AtomicUsize, Ordering};
+use conckit::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// A unit of work queued on the pool. Lifetimes are erased by
@@ -30,7 +30,7 @@ pub fn resolve_threads(requested: usize) -> usize {
     {
         return n;
     }
-    std::thread::available_parallelism()
+    conckit::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
 }
@@ -55,14 +55,14 @@ struct Shared {
     id: usize,
 }
 
-fn lock_sync(shared: &Shared) -> std::sync::MutexGuard<'_, PoolSync> {
+fn lock_sync(shared: &Shared) -> MutexGuard<'_, PoolSync> {
     match shared.sync.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
 }
 
-fn lock_injector(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+fn lock_injector(shared: &Shared) -> MutexGuard<'_, VecDeque<Task>> {
     match shared.injector.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -176,7 +176,7 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
 /// determinism contract is anchored to.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<conckit::thread::JoinHandle<()>>,
     threads: usize,
 }
 
@@ -210,7 +210,7 @@ impl ThreadPool {
         let handles = (0..workers)
             .map(|idx| {
                 let shared = shared.clone();
-                std::thread::Builder::new()
+                conckit::thread::Builder::new()
                     .name(format!("parkit-{idx}"))
                     .spawn(move || worker_loop(shared, idx))
                     .unwrap_or_else(|e| panic!("spawning parkit worker {idx} failed: {e}"))

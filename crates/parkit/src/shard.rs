@@ -1,0 +1,224 @@
+//! A sharded, bounded, insertion-ordered concurrent map.
+//!
+//! The generic concurrency structure behind `dpo-af`'s verification
+//! memo-cache, hoisted into parkit so the interleaving-sensitive part
+//! can be model-checked with conckit alongside the pool it shares
+//! traffic with. Keys hash to one of N shards, each a mutex around a
+//! `HashMap` plus an insertion-order queue; contention is divided by N
+//! and the critical sections are single map operations.
+//!
+//! **Bounded.** Each shard holds at most `ceil(capacity / shards)`
+//! entries. Inserting a fresh key into a full shard evicts that shard's
+//! oldest entry first — FIFO, not LRU: order maintenance is O(1) and
+//! deterministic (no read-reordering races), and for memoized verifier
+//! verdicts every entry is uniformly cheap to recompute, so recency
+//! tracking buys little. An unbounded map in a long-running service is
+//! a slow leak; the bound turns it into a plain working set.
+//!
+//! Eviction never changes *values*: a `get` after an eviction is a miss
+//! that recomputes, so a bounded cache must produce byte-identical
+//! downstream artifacts — the pipeline asserts exactly that.
+
+use conckit::sync::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// What an [`ShardedMap::insert`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The key was not present (an overwrite of an existing key is not
+    /// fresh and can never evict).
+    pub fresh: bool,
+    /// A fresh insert displaced the shard's oldest entry.
+    pub evicted: bool,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    /// Insertion order of live keys, oldest at the front.
+    order: VecDeque<K>,
+}
+
+/// A sharded hash map with per-shard FIFO eviction. See the module docs.
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Per-shard entry bound (`None` = unbounded).
+    per_shard: Option<usize>,
+}
+
+impl<K, V> std::fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .field("per_shard", &self.per_shard)
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
+    /// Creates a map with `shards` shards (0 is treated as 1) holding at
+    /// most `capacity` entries in total (`None` = unbounded). The bound
+    /// is split evenly, rounding up, so the effective total can exceed
+    /// `capacity` by at most `shards - 1`.
+    pub fn new(shards: usize, capacity: Option<usize>) -> ShardedMap<K, V> {
+        let shards = shards.max(1);
+        let per_shard = capacity.map(|c| c.div_ceil(shards).max(1));
+        ShardedMap {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard,
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        // DefaultHasher with the default keys is deterministic within a
+        // process, which is all shard routing needs.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns a clone of the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = match self.shard_of(key).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        shard.map.get(key).cloned()
+    }
+
+    /// Inserts `key -> value`, evicting the shard's oldest entry when a
+    /// fresh key lands in a full shard. Overwriting an existing key
+    /// keeps its original insertion-order position.
+    pub fn insert(&self, key: K, value: V) -> InsertOutcome {
+        let mut shard = match self.shard_of(&key).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if shard.map.insert(key.clone(), value).is_some() {
+            return InsertOutcome {
+                fresh: false,
+                evicted: false,
+            };
+        }
+        shard.order.push_back(key);
+        let evicted = match self.per_shard {
+            Some(cap) if shard.order.len() > cap => match shard.order.pop_front() {
+                Some(oldest) => {
+                    shard.map.remove(&oldest);
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        };
+        InsertOutcome {
+            fresh: true,
+            evicted,
+        }
+    }
+
+    /// Live entries across all shards (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                match s.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                }
+                .map
+                .len()
+            })
+            .sum()
+    }
+
+    /// Whether the map holds no entries (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_overwrite() {
+        let m: ShardedMap<String, u32> = ShardedMap::new(4, None);
+        assert!(m.is_empty());
+        assert_eq!(m.get(&"a".to_owned()), None);
+        assert_eq!(
+            m.insert("a".to_owned(), 1),
+            InsertOutcome {
+                fresh: true,
+                evicted: false
+            }
+        );
+        assert_eq!(
+            m.insert("a".to_owned(), 2),
+            InsertOutcome {
+                fresh: false,
+                evicted: false
+            }
+        );
+        assert_eq!(m.get(&"a".to_owned()), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_every_shard() {
+        // One shard so the arithmetic is exact.
+        let m: ShardedMap<u64, u64> = ShardedMap::new(1, Some(3));
+        for k in 0..10 {
+            m.insert(k, k * 10);
+        }
+        assert_eq!(m.len(), 3);
+        // FIFO: the three newest survive.
+        for k in 7..10 {
+            assert_eq!(m.get(&k), Some(k * 10), "key {k}");
+        }
+        for k in 0..7 {
+            assert_eq!(m.get(&k), None, "key {k}");
+        }
+    }
+
+    #[test]
+    fn eviction_reported_per_insert() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(1, Some(2));
+        assert!(!m.insert(1, 1).evicted);
+        assert!(!m.insert(2, 2).evicted);
+        let out = m.insert(3, 3);
+        assert!(out.fresh && out.evicted);
+        // Overwrites never evict, even at capacity.
+        let out = m.insert(3, 30);
+        assert!(!out.fresh && !out.evicted);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn sharded_capacity_rounds_up() {
+        // 4 shards, capacity 6 -> 2 per shard; total never exceeds 8.
+        let m: ShardedMap<u64, u64> = ShardedMap::new(4, Some(6));
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        assert!(m.len() <= 8, "len {}", m.len());
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(8, None);
+        for k in 0..1000 {
+            assert!(!m.insert(k, k).evicted);
+        }
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -25,7 +25,7 @@
 //! "message"}, ...], "tally": {"errors", "warnings", "notes"}}`.
 
 // A binary may panic on internal invariants (serializing a value tree).
-#![allow(clippy::expect_used)]
+#![allow(clippy::expect_used)] // ALLOW: a binary may panic on internal invariants.
 
 use serde::{Serialize, Value};
 use speclint::presets::{

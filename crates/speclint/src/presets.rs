@@ -5,7 +5,7 @@
 
 // Everything here is built from compile-time constants; a build failure is
 // a bug in this crate, not an input condition, so panicking is correct.
-#![allow(clippy::expect_used)]
+#![allow(clippy::expect_used)] // ALLOW: built from compile-time constants; failure is a bug in this crate.
 
 use crate::semantic::{CorpusController, SemanticInput, SemanticWorld};
 use crate::{ControllerInput, LintInput, StepListInput};

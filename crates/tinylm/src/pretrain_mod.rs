@@ -52,7 +52,7 @@ pub struct PretrainStats {
 // The corpus is rendered from the model's own tokenizer, so gradient
 // calls cannot see out-of-vocabulary ids; a panic here is a caller bug
 // worth failing loudly on during training.
-#[allow(clippy::expect_used)]
+#[allow(clippy::expect_used)] // ALLOW: out-of-vocabulary ids are a caller bug worth failing loudly on.
 pub fn pretrain(
     model: &mut CondLm,
     corpus: &[(usize, Vec<Token>)],
@@ -79,7 +79,7 @@ pub fn pretrain(
 // The corpus is rendered from the model's own tokenizer, so gradient
 // calls cannot see out-of-vocabulary ids; a panic here is a caller bug
 // worth failing loudly on during training.
-#[allow(clippy::expect_used)]
+#[allow(clippy::expect_used)] // ALLOW: out-of-vocabulary ids are a caller bug worth failing loudly on.
 pub fn pretrain_in(
     model: &mut CondLm,
     corpus: &[(usize, Vec<Token>)],

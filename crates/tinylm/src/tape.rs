@@ -823,7 +823,7 @@ impl Tape {
 }
 
 #[cfg(test)]
-#[allow(clippy::needless_range_loop)] // index-parallel comparisons read clearest
+#[allow(clippy::needless_range_loop)] // ALLOW: index-parallel comparisons read clearest.
 mod tests {
     use super::*;
     use proptest::prelude::*;

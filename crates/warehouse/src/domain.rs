@@ -91,7 +91,7 @@ impl WarehouseDomain {
     /// Builds the warehouse domain.
     // Built from distinct literals into a fresh vocabulary/lexicon; a
     // panic here is a bug in this constructor.
-    #[allow(clippy::expect_used)]
+    #[allow(clippy::expect_used)] // ALLOW: fresh vocabulary by construction; a panic is a constructor bug.
     pub fn new() -> Self {
         let mut vocab = Vocab::new();
         let human = vocab.add_prop("human nearby").expect("fresh vocab");
@@ -230,7 +230,7 @@ impl WarehouseDomain {
     }
 
     // `choose` on a non-empty const slice cannot return `None`.
-    #[allow(clippy::expect_used)]
+    #[allow(clippy::expect_used)] // ALLOW: choose on a non-empty const slice cannot fail.
     fn prop_phrase<'a>(&self, p: PropId, rng: &mut impl Rng) -> &'a str {
         let options: &[&str] = if p == self.human {
             &["human nearby", "person in the aisle", "someone nearby"]
@@ -245,7 +245,7 @@ impl WarehouseDomain {
     }
 
     // `choose` on a non-empty const slice cannot return `None`.
-    #[allow(clippy::expect_used)]
+    #[allow(clippy::expect_used)] // ALLOW: choose on a non-empty const slice cannot fail.
     fn act_phrase<'a>(&self, a: ActId, rng: &mut impl Rng) -> &'a str {
         let options: &[&str] = if a == self.move_forward {
             &["move forward", "drive forward", "advance"]
@@ -263,7 +263,7 @@ impl WarehouseDomain {
 
     /// Renders one response for a task in a style (steps `;`-separated).
     // `choose` on a non-empty const slice cannot return `None`.
-    #[allow(clippy::expect_used)]
+    #[allow(clippy::expect_used)] // ALLOW: choose on a non-empty const slice cannot fail.
     pub fn render(
         &self,
         task: &WarehouseTask,
@@ -332,7 +332,7 @@ impl WarehouseDomain {
 
     /// A pretraining corpus with a deliberately mixed quality profile.
     // `choose` on a non-empty const slice cannot return `None`.
-    #[allow(clippy::expect_used)]
+    #[allow(clippy::expect_used)] // ALLOW: choose on a non-empty const slice cannot fail.
     pub fn corpus(&self, size: usize, rng: &mut impl Rng) -> Vec<(usize, Vec<Token>)> {
         let styles = [
             (WarehouseStyle::Careful, 0.30),

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example fine_tune_small`
 
-#![allow(clippy::field_reassign_with_default)] // config structs are built by
+#![allow(clippy::field_reassign_with_default)] // ALLOW: config structs are built by field reassignment for readability.
                                                // mutating a Default, which reads better than giant struct-update literals
 
 use dpo_af::pipeline::{DpoAf, PipelineConfig};
