@@ -6,11 +6,15 @@
 # (exhaustive interleaving exploration of the parkit pool/deque and the
 # sharded verdict cache, plus a miri pass when the interpreter is
 # installed), the certkit certification + explicit-vs-symbolic
-# differential suite, an instrumented bench smoke run validated against
-# the obskit.bench.v1 report schema (metrics_check), and byte-equality
-# gates proving the performance and gating knobs (--threads, DPO ref
-# cache, verdict-cache capacity, semantic pre-flight) never change
-# artifacts.
+# differential suite, an instrumented bench smoke run (allocation
+# tracking on) validated against the obskit.bench.v2 report schema
+# (metrics_check), byte-equality gates proving the performance and
+# gating knobs (--threads, DPO ref cache, verdict-cache capacity,
+# semantic pre-flight, allocation tracking) never change artifacts, and
+# a noise-aware perf-regression gate (bench_diff) that diffs a fresh
+# fast headline run against the committed baseline under
+# results/PERF_BUDGETS.json — including a seeded-regression self-test
+# proving the gate really fails when one span slows down.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -58,20 +62,23 @@ cargo run -q --release -p bench --bin metrics_check -- "$conc_report" \
 echo "==> certkit gate (certification + differential suite)"
 cargo run -q -p certkit --release
 
-echo "==> obskit smoke gate (instrumented 2-thread bench run + schema check)"
+echo "==> obskit smoke gate (instrumented 2-thread bench run, alloc tracking on)"
 smoke_report="$(mktemp -t BENCH_smoke.XXXXXX.json)"
 smoke_art1="$(mktemp -t headline_t1.XXXXXX.json)"
 smoke_art2="$(mktemp -t headline_t2.XXXXXX.json)"
 smoke_art3="$(mktemp -t headline_norefcache.XXXXXX.json)"
 trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$conc_report"' EXIT
 cargo run -q --release -p bench --bin headline -- \
-    --fast --quiet --threads 2 --metrics-out "$smoke_report" \
+    --fast --quiet --threads 2 --alloc --metrics-out "$smoke_report" \
     --artifacts-out "$smoke_art2" > /dev/null
 cargo run -q --release -p bench --bin metrics_check -- "$smoke_report" \
-    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,verify.cache_entries,verify.cache_evictions,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses,speclint.semantic_rules,speclint.semantic_checks,speclint.semantic_errors,speclint.semantic_notes \
+    --require pipeline.pairs_formed,pipeline.responses_scored,ltlcheck.checks,ltlcheck.product_states,pretrain.tokens,dpo.pairs_trained,pool.tasks,pool.steals,verify.cache_hits,verify.cache_misses,verify.cache_entries,verify.cache_evictions,verify.cache_hit_rate,dpo.ref_cache_hits,dpo.tokens_per_sec,tape.nodes,tape.grad_buffer_reuses,speclint.semantic_rules,speclint.semantic_checks,speclint.semantic_errors,speclint.semantic_notes,alloc.allocs,alloc.bytes_allocated,alloc.bytes_freed,alloc.frees,alloc.current_bytes,alloc.peak_bytes \
     --require-span pipeline.run,pipeline.pretrain,pipeline.collect,pipeline.sample,pipeline.parse,pipeline.verify,pipeline.rank,pipeline.train,pipeline.eval,pipeline.score_batch,pipeline.score,dpo.ref,dpo.epoch,dpo.forward,dpo.backward
 
-echo "==> parallel determinism gate (headline artifacts, --threads 1 vs 2)"
+# smoke_art2 was produced at --threads 2 with --alloc; smoke_art1 is
+# --threads 1 --no-obs, so this one cmp also proves the tracking
+# allocator and recorder never leak into artifacts.
+echo "==> parallel determinism gate (headline artifacts, --threads 1 vs 2, alloc on vs off)"
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --no-obs --threads 1 --artifacts-out "$smoke_art1" > /dev/null
 cmp "$smoke_art1" "$smoke_art2"
@@ -88,5 +95,34 @@ cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --no-obs --threads 1 --no-semantic-preflight \
     --artifacts-out "$smoke_art4" > /dev/null
 cmp "$smoke_art1" "$smoke_art4"
+
+echo "==> perf budget gate (bench_diff vs committed fast-headline baseline)"
+perf_report="$(mktemp -t BENCH_perf.XXXXXX.json)"
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$conc_report" "$perf_report"' EXIT
+cargo run -q --release -p bench --bin headline -- \
+    --fast --quiet --threads 1 --alloc --metrics-out "$perf_report" > /dev/null
+cargo run -q --release -p bench --bin bench_diff -- \
+    results/BENCH_headline_fast.json "$perf_report" \
+    --budgets results/PERF_BUDGETS.json
+
+# Self-test against the baseline *itself* so the verdicts are
+# deterministic: identical reports must pass, and the same pair with a
+# seeded +10% dpo.backward slowdown must fail naming the span —
+# machine noise in the fresh candidate above cannot mask the seed here.
+echo "==> perf gate self-test (identical reports pass, seeded +10% regression fails)"
+seeded_out="$(mktemp -t bench_diff_seeded.XXXXXX.txt)"
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$conc_report" "$perf_report" "$seeded_out"' EXIT
+cargo run -q --release -p bench --bin bench_diff -- \
+    results/BENCH_headline_fast.json results/BENCH_headline_fast.json \
+    --budgets results/PERF_BUDGETS.json > /dev/null
+if cargo run -q --release -p bench --bin bench_diff -- \
+    results/BENCH_headline_fast.json results/BENCH_headline_fast.json \
+    --budgets results/PERF_BUDGETS.json \
+    --seed-regression dpo.backward=1.10 > "$seeded_out"; then
+    echo "perf gate self-test FAILED: seeded regression was not detected"
+    cat "$seeded_out"
+    exit 1
+fi
+grep -q "dpo.backward" "$seeded_out"
 
 echo "ci: all gates passed"

@@ -1,0 +1,120 @@
+//! Compares two bench reports under noise-aware perf budgets — the CI
+//! perf-regression gate.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json>
+//!            [--budgets results/PERF_BUDGETS.json]
+//!            [--json-out verdict.json]
+//!            [--seed-regression span=factor]
+//! ```
+//!
+//! Counters must match exactly (the pipeline is deterministic at
+//! `--threads 1`), span times are compared as shares of each run's own
+//! wall clock (robust to a uniformly faster/slower machine), and
+//! nondeterministic metrics are ignored per the budgets file. See
+//! [`bench::diff`] and DESIGN.md §12 for the tolerance-class rationale.
+//!
+//! `--seed-regression` multiplies the named span's candidate timings
+//! before diffing; CI uses it to prove the gate fails when it should.
+//!
+//! Exit codes: 0 = within budget, 1 = perf regression(s) (printed and
+//! named), 2 = usage or I/O error.
+
+use bench::diff::{diff_reports, seed_regression, Budgets};
+use std::process::ExitCode;
+
+fn read_json(path: &str) -> Result<obskit::json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    obskit::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut budgets_path = None;
+    let mut json_out = None;
+    let mut seed = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budgets" => budgets_path = args.next(),
+            "--json-out" => json_out = args.next(),
+            "--seed-regression" => seed = args.next(),
+            _ if !arg.starts_with("--") && paths.len() < 2 => paths.push(arg),
+            _ => {
+                eprintln!("unexpected argument `{arg}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let [baseline_path, candidate_path] = &paths[..] else {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <candidate.json> [--budgets <p>] \
+             [--json-out <p>] [--seed-regression span=factor]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let budgets = match &budgets_path {
+        None => Budgets::defaults(),
+        Some(path) => {
+            let parsed = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+                .and_then(|text| Budgets::parse(&text));
+            match parsed {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("budgets: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let baseline = match read_json(baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut candidate = match read_json(candidate_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(seed) = seed {
+        let parsed = seed
+            .split_once('=')
+            .and_then(|(span, f)| f.parse::<f64>().ok().map(|f| (span.to_owned(), f)));
+        let Some((span, factor)) = parsed else {
+            eprintln!("--seed-regression expects span=factor, got `{seed}`");
+            return ExitCode::from(2);
+        };
+        let hits = seed_regression(&mut candidate, &span, factor);
+        eprintln!("seeded x{factor} regression into {hits} `{span}` span node(s)");
+    }
+
+    let diff = match diff_reports(&baseline, &candidate, &budgets) {
+        Ok(diff) => diff,
+        Err(e) => {
+            eprintln!("diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", diff.render_human());
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, diff.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("diff verdict written to {path}");
+    }
+    if diff.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

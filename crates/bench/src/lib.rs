@@ -28,10 +28,19 @@
 //! Every binary accepts `--fast` to run a reduced configuration.
 
 pub mod audit;
+pub mod diff;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Every bench binary runs under the obskit tracking allocator. It
+/// forwards straight to the system allocator until
+/// `obskit::alloc::set_tracking(true)` (the `--alloc` flag) turns the
+/// accounting on, so artifact bytes and headline numbers are identical
+/// whether or not a run profiles allocations.
+#[global_allocator]
+static ALLOC: obskit::alloc::TrackingAlloc = obskit::alloc::TrackingAlloc::new();
 
 /// Shared command-line handling for every experiment binary.
 ///
@@ -42,6 +51,8 @@ use std::time::Instant;
 /// | `--fast`             | reduced configuration (seconds instead of minutes) |
 /// | `--metrics-out <p>`  | write a `BENCH_<name>.json` report ([`obskit::report`] schema) |
 /// | `--trace-out <p>`    | write a Chrome trace (open in `chrome://tracing` / Perfetto) |
+/// | `--flame-out <p>`    | write a collapsed-stack flamegraph (self-time µs, `flamegraph.pl` format) |
+/// | `--alloc`            | turn on allocation accounting (per-span counts/bytes in the report) |
 /// | `--no-obs`           | keep the no-op recorder (overhead baseline; also silences progress) |
 /// | `--quiet`            | drop the stderr progress sink, keep recording |
 /// | `--threads <n>`      | scoring fan-out width (0/omitted = `PARKIT_THREADS` or the machine) |
@@ -66,6 +77,10 @@ pub struct BenchCli {
     pub metrics_out: Option<PathBuf>,
     /// Where to write the Chrome trace, if anywhere.
     pub trace_out: Option<PathBuf>,
+    /// Where to write the collapsed-stack flamegraph, if anywhere.
+    pub flame_out: Option<PathBuf>,
+    /// `--alloc` was passed: turn on allocation accounting.
+    pub alloc: bool,
     /// `--no-obs` was passed: leave the no-op recorder selected.
     pub no_obs: bool,
     /// `--threads` value (0 = auto-resolve, the default).
@@ -97,6 +112,8 @@ impl BenchCli {
             fast: false,
             metrics_out: None,
             trace_out: None,
+            flame_out: None,
+            alloc: false,
             no_obs: false,
             threads: 0,
             no_cache: false,
@@ -110,6 +127,7 @@ impl BenchCli {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--fast" => cli.fast = true,
+                "--alloc" => cli.alloc = true,
                 "--no-obs" => cli.no_obs = true,
                 "--quiet" => quiet = true,
                 "--no-cache" => cli.no_cache = true,
@@ -117,6 +135,7 @@ impl BenchCli {
                 "--no-semantic-preflight" => cli.no_semantic_preflight = true,
                 "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
                 "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
+                "--flame-out" => cli.flame_out = it.next().map(PathBuf::from),
                 "--threads" => {
                     cli.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
                 }
@@ -126,6 +145,10 @@ impl BenchCli {
         if !cli.no_obs {
             obskit::enable();
             obskit::set_console(!quiet);
+            obskit::recorder::install_panic_hook();
+            if cli.alloc {
+                obskit::alloc::set_tracking(true);
+            }
         }
         cli
     }
@@ -151,10 +174,12 @@ impl BenchCli {
             eprintln!("metrics report written to {}", path.display());
         }
         if let Some(path) = &self.trace_out {
-            let trace = obskit::chrome::chrome_trace_named(
+            let trace = obskit::chrome::chrome_trace_full(
                 &snapshot.span_records,
                 &snapshot.events,
                 &snapshot.thread_names,
+                &snapshot.samples,
+                Some(&format!("bench_{}", self.bench)),
             );
             std::fs::write(path, trace)
                 .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
@@ -162,6 +187,12 @@ impl BenchCli {
                 "chrome trace written to {} (open in chrome://tracing)",
                 path.display()
             );
+        }
+        if let Some(path) = &self.flame_out {
+            let flame = obskit::flame::folded(&snapshot.span_records);
+            std::fs::write(path, flame)
+                .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+            eprintln!("folded flamegraph written to {}", path.display());
         }
         snapshot
     }
@@ -250,6 +281,9 @@ mod tests {
                 "out/BENCH_headline.json",
                 "--trace-out",
                 "/tmp/headline.trace.json",
+                "--flame-out",
+                "/tmp/headline.folded",
+                "--alloc",
                 "--threads",
                 "4",
                 "--no-cache",
@@ -270,10 +304,15 @@ mod tests {
             cli.trace_out.as_deref(),
             Some(std::path::Path::new("/tmp/headline.trace.json"))
         );
+        assert_eq!(
+            cli.flame_out.as_deref(),
+            Some(std::path::Path::new("/tmp/headline.folded"))
+        );
+        assert!(cli.alloc);
         assert_eq!(cli.threads, 4);
         assert!(cli.no_cache);
         assert!(cli.no_ref_cache);
-        assert_eq!(cli.args.len(), 11);
+        assert_eq!(cli.args.len(), 14);
 
         // The performance knobs land in the pipeline configuration.
         let cfg = cli.pipeline_config();

@@ -448,10 +448,13 @@ impl DpoAf {
     ) -> Vec<usize> {
         let batch = obskit::span("pipeline.score_batch");
         let handoff = batch.handoff();
-        self.pool.map(items, |_, item| {
+        let scores = self.pool.map(items, |_, item| {
             let _s = obskit::span_under("pipeline.score", handoff);
             self.score_formal(task_of(item), text_of(item))
-        })
+        });
+        // Scored batches are a natural flight-recorder beat (throttled).
+        obskit::recorder::tick();
+        scores
     }
 
     /// Samples `m` responses per training task per round, scores each by
@@ -653,6 +656,13 @@ impl DpoAf {
                 "verification feedback produced no strict preferences"
             );
             dataset_size += dataset.len();
+            let (hits, misses) = self.cache_stats();
+            if hits + misses > 0 {
+                obskit::gauge_set(
+                    "verify.cache_hit_rate",
+                    hits as f64 / (hits + misses) as f64,
+                );
+            }
             obskit::event(
                 "pipeline.iteration",
                 vec![
@@ -661,6 +671,9 @@ impl DpoAf {
                     ("total_pairs", dataset_size.into()),
                 ],
             );
+            // Iteration boundaries are the flight recorder's interesting
+            // edges; sample unconditionally.
+            obskit::recorder::force_tick();
             obskit::progress!(
                 "iteration {iteration}: {} preference pairs collected ({dataset_size} total)",
                 dataset.len()

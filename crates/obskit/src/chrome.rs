@@ -4,10 +4,14 @@
 //! accepted by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
 //! each span becomes a complete (`"ph": "X"`) event with microsecond
 //! timestamps, each structured event an instant (`"ph": "i"`) with its
-//! fields attached under `args`.
+//! fields attached under `args`, and each flight-recorder sample a set
+//! of counter (`"ph": "C"`) points — one track per counter/gauge name,
+//! so cache hit-rate and tokens/sec are visible *evolving over time*
+//! alongside the span rows.
 
 use crate::event::Event;
 use crate::json::Value;
+use crate::recorder::FlightSample;
 use crate::span::SpanRecord;
 
 /// Renders spans and events as a Trace Event Format JSON document.
@@ -23,8 +27,33 @@ pub fn chrome_trace_named(
     events: &[Event],
     thread_names: &[(u64, String)],
 ) -> String {
+    chrome_trace_full(spans, events, thread_names, &[], None)
+}
+
+/// The full exporter: [`chrome_trace_named`] plus counter tracks built
+/// from flight-recorder samples and a `process_name` metadata record
+/// (named parkit workers already arrive via `thread_names`).
+pub fn chrome_trace_full(
+    spans: &[SpanRecord],
+    events: &[Event],
+    thread_names: &[(u64, String)],
+    samples: &[FlightSample],
+    process_name: Option<&str>,
+) -> String {
     let mut trace_events: Vec<Value> =
-        Vec::with_capacity(spans.len() + events.len() + thread_names.len());
+        Vec::with_capacity(spans.len() + events.len() + thread_names.len() + 1);
+    if let Some(name) = process_name {
+        trace_events.push(Value::Obj(vec![
+            ("name".into(), Value::Str("process_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::Num(1.0)),
+            ("tid".into(), Value::Num(0.0)),
+            (
+                "args".into(),
+                Value::Obj(vec![("name".into(), Value::Str(name.to_owned()))]),
+            ),
+        ]));
+    }
     for (tid, name) in thread_names {
         trace_events.push(Value::Obj(vec![
             ("name".into(), Value::Str("thread_name".into())),
@@ -66,11 +95,36 @@ pub fn chrome_trace_named(
             ("args".into(), Value::Obj(args)),
         ]));
     }
+    // One counter ("ph": "C") point per metric per flight sample.
+    // Perfetto groups points sharing a name into a single track, so
+    // each counter/gauge renders as a stepped time series.
+    for sample in samples {
+        for (name, v) in &sample.counters {
+            trace_events.push(counter_point(name, sample.t_us, *v as f64));
+        }
+        for (name, v) in &sample.gauges {
+            trace_events.push(counter_point(name, sample.t_us, *v));
+        }
+    }
     Value::Obj(vec![
         ("displayTimeUnit".into(), Value::Str("ms".into())),
         ("traceEvents".into(), Value::Arr(trace_events)),
     ])
     .to_json()
+}
+
+fn counter_point(name: &str, t_us: u64, value: f64) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::Str(name.to_owned())),
+        ("cat".into(), Value::Str("metric".into())),
+        ("ph".into(), Value::Str("C".into())),
+        ("ts".into(), Value::Num(t_us as f64)),
+        ("pid".into(), Value::Num(1.0)),
+        (
+            "args".into(),
+            Value::Obj(vec![("value".into(), Value::Num(value))]),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -89,6 +143,8 @@ mod tests {
                 parent: None,
                 thread: 3,
                 depth: 0,
+                alloc_count: 0,
+                alloc_bytes: 0,
             },
             SpanRecord {
                 name: "pipeline.parse".into(),
@@ -97,6 +153,8 @@ mod tests {
                 parent: None,
                 thread: 3,
                 depth: 0,
+                alloc_count: 0,
+                alloc_bytes: 0,
             },
         ];
         let events = vec![Event {
@@ -134,6 +192,63 @@ mod tests {
                 .and_then(|a| a.get("msg"))
                 .and_then(json::Value::as_str),
             Some("hi \"there\"")
+        );
+    }
+
+    #[test]
+    fn full_trace_emits_process_name_and_counter_tracks() {
+        let samples = vec![
+            FlightSample {
+                t_us: 1_000,
+                counters: vec![("verify.cache_hits".into(), 4)],
+                gauges: vec![("verify.cache_hit_rate".into(), 0.25)],
+            },
+            FlightSample {
+                t_us: 2_000,
+                counters: vec![("verify.cache_hits".into(), 9)],
+                gauges: vec![("verify.cache_hit_rate".into(), 0.5)],
+            },
+        ];
+        let rendered = chrome_trace_full(
+            &[],
+            &[],
+            &[(7, "parkit-worker-0".into())],
+            &samples,
+            Some("bench_headline"),
+        );
+        let doc = json::parse(&rendered).expect("chrome trace parses");
+        let entries = doc
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents array");
+        // process_name + thread_name metadata, then 2 metrics × 2 samples.
+        assert_eq!(entries.len(), 6);
+        assert_eq!(
+            entries[0].get("ph").and_then(json::Value::as_str),
+            Some("M")
+        );
+        assert_eq!(
+            entries[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(json::Value::as_str),
+            Some("bench_headline")
+        );
+        let counters: Vec<&json::Value> = entries
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 4);
+        assert_eq!(
+            counters[0].get("name").and_then(json::Value::as_str),
+            Some("verify.cache_hits")
+        );
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(json::Value::as_num),
+            Some(0.25)
         );
     }
 }

@@ -31,19 +31,23 @@
 //! Span taxonomy and metric naming conventions are documented in
 //! DESIGN.md §7.
 
+pub mod alloc;
 pub mod chrome;
 pub mod event;
+pub mod flame;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod span;
 
 pub use event::{Event, EventLog, FieldValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use recorder::FlightSample;
 pub use report::{BenchReport, Requirements};
 pub use span::{SpanNode, SpanRecord, SpanStore};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -84,8 +88,14 @@ fn anchor() -> Instant {
 }
 
 /// Microseconds since the process anchor.
-fn now_us() -> u64 {
+pub(crate) fn now_us() -> u64 {
     anchor().elapsed().as_micros() as u64
+}
+
+/// A metrics snapshot of the global registry (flight-recorder /
+/// panic-hook plumbing).
+pub(crate) fn global_registry_snapshot() -> MetricsSnapshot {
+    global().registry.snapshot()
 }
 
 /// Dense per-thread id (0, 1, 2, …) for trace attribution.
@@ -100,6 +110,40 @@ fn thread_id() -> u64 {
 thread_local! {
     /// Stack of open span ids on this thread (for parent links).
     static SPAN_STACK: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    /// The innermost open span id on this thread, mirrored out of
+    /// `SPAN_STACK` into a plain `Cell` so the tracking allocator can
+    /// read it mid-allocation (the `RefCell` may legitimately be
+    /// borrowed while its `Vec` reallocates, which *is* an allocation).
+    /// `u32::MAX` = no open span.
+    static CURRENT_SPAN: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Innermost open span on this thread, for allocation attribution.
+/// `try_with` so allocations during thread teardown degrade to
+/// unattributed instead of aborting.
+pub(crate) fn current_span_for_alloc() -> Option<u32> {
+    CURRENT_SPAN
+        .try_with(|c| {
+            let id = c.get();
+            (id != u32::MAX).then_some(id)
+        })
+        .ok()
+        .flatten()
+}
+
+fn set_current_span(id: Option<u32>) {
+    let _ = CURRENT_SPAN.try_with(|c| c.set(id.unwrap_or(u32::MAX)));
+}
+
+/// Names of the spans currently open on this thread, outermost first —
+/// what the flight recorder's panic dump reports as the span stack.
+pub fn current_span_stack() -> Vec<String> {
+    // try_with + try_borrow: callable from a panic hook even if the
+    // panic interrupted a span-stack mutation.
+    let ids = SPAN_STACK
+        .try_with(|s| s.try_borrow().map(|s| s.clone()).unwrap_or_default())
+        .unwrap_or_default();
+    global().spans.names(&ids)
 }
 
 /// Turns the global recorder on, clearing all previously recorded data.
@@ -111,6 +155,8 @@ pub fn enable() {
     g.registry.clear();
     g.spans.clear();
     g.events.clear();
+    alloc::reset();
+    recorder::clear();
     ENABLED_AT_US.store(now_us(), Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -202,6 +248,7 @@ pub fn span_under(name: &str, handoff: Handoff) -> Span {
         .spans
         .open_under(name, now_us(), parent, thread_id());
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    set_current_span(Some(id));
     Span { id: Some(id) }
 }
 
@@ -237,6 +284,7 @@ pub fn span(name: &str) -> Span {
         .spans
         .open(name, now_us(), parent, thread_id(), depth);
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    set_current_span(Some(id));
     Span { id: Some(id) }
 }
 
@@ -244,12 +292,14 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(id) = self.id {
             global().spans.close(id, now_us());
-            SPAN_STACK.with(|s| {
+            let top = SPAN_STACK.with(|s| {
                 let mut s = s.borrow_mut();
                 if let Some(pos) = s.iter().rposition(|&open| open == id) {
                     s.remove(pos);
                 }
+                s.last().copied()
             });
+            set_current_span(top);
         }
     }
 }
@@ -310,6 +360,11 @@ pub struct Snapshot {
     /// Human-readable thread names (`thread id → name`), in
     /// registration order.
     pub thread_names: Vec<(u64, String)>,
+    /// Flight-recorder ring contents, oldest first.
+    pub samples: Vec<FlightSample>,
+    /// Process-wide allocation totals, when the tracking allocator was
+    /// on at any point since [`enable`].
+    pub alloc: Option<alloc::AllocTotals>,
 }
 
 /// Snapshots the global recorder (readable whether or not it is still
@@ -317,11 +372,26 @@ pub struct Snapshot {
 pub fn snapshot() -> Snapshot {
     let g = global();
     let now = now_us();
-    let span_records = g.spans.snapshot(now);
+    let mut span_records = g.spans.snapshot(now);
+    let mut metrics = g.registry.snapshot();
+    // Fold allocation data in: per-span attribution onto the records
+    // (span id = record index), totals as `alloc.*` metrics so reports,
+    // requirements and the perf gate see them like any other metric.
+    let alloc = alloc::tracked_any().then(alloc::totals);
+    if alloc.is_some() {
+        let per_span = alloc::per_span();
+        for (record, stats) in span_records.iter_mut().zip(&per_span) {
+            record.alloc_count = stats.allocs;
+            record.alloc_bytes = stats.bytes;
+        }
+    }
+    if let Some(totals) = &alloc {
+        fold_alloc_metrics(&mut metrics, totals);
+    }
     let spans = span::aggregate(&span_records);
     Snapshot {
         wall_ms: now.saturating_sub(ENABLED_AT_US.load(Ordering::Relaxed)) as f64 / 1e3,
-        metrics: g.registry.snapshot(),
+        metrics,
         span_records,
         spans,
         events: g.events.snapshot(),
@@ -329,5 +399,32 @@ pub fn snapshot() -> Snapshot {
             Ok(names) => names.clone(),
             Err(poisoned) => poisoned.into_inner().clone(),
         },
+        samples: recorder::samples(),
+        alloc,
     }
+}
+
+/// Merges allocation totals into a metrics snapshot under the `alloc.*`
+/// names, keeping both metric lists name-sorted. Shared by [`snapshot`]
+/// and the flight recorder so final reports and periodic samples agree
+/// on naming.
+pub(crate) fn fold_alloc_metrics(
+    metrics: &mut metrics::MetricsSnapshot,
+    totals: &alloc::AllocTotals,
+) {
+    metrics.counters.extend([
+        ("alloc.allocs".to_owned(), totals.allocs),
+        ("alloc.bytes_allocated".to_owned(), totals.bytes_allocated),
+        ("alloc.bytes_freed".to_owned(), totals.bytes_freed),
+        ("alloc.frees".to_owned(), totals.frees),
+    ]);
+    metrics.counters.sort();
+    metrics.gauges.extend([
+        (
+            "alloc.current_bytes".to_owned(),
+            totals.current_bytes as f64,
+        ),
+        ("alloc.peak_bytes".to_owned(), totals.peak_bytes as f64),
+    ]);
+    metrics.gauges.sort_by(|a, b| a.0.cmp(&b.0));
 }

@@ -164,6 +164,46 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from the log₂
+    /// buckets with linear interpolation inside the containing bucket —
+    /// the Prometheus `histogram_quantile` construction, tightened by
+    /// the exact `min`/`max` the histogram also tracks: results are
+    /// clamped to `[min, max]`, so the p0/p100 ends are exact and
+    /// single-observation histograms report that observation at every
+    /// quantile. Returns `None` when the histogram is empty.
+    ///
+    /// Monotone in `q` by construction (cumulative rank walk over
+    /// ascending buckets), so `p50 ≤ p90 ≤ p99` always holds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min? as f64, self.max? as f64);
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0.0;
+        for b in &self.buckets {
+            let c = b.count as f64;
+            if seen + c >= rank {
+                // Interpolate inside [lo, hi) by the rank fraction
+                // covered within this bucket (rank 0 ⇒ lo).
+                let frac = if c > 0.0 { (rank - seen) / c } else { 0.0 };
+                let est = b.lo as f64 + (b.hi as f64 - b.lo as f64) * frac;
+                return Some(est.clamp(min, max));
+            }
+            seen += c;
+        }
+        Some(max)
+    }
+
+    /// The (p50, p90, p99) triple reports carry, or `None` when empty.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.90)?,
+            self.quantile(0.99)?,
+        ))
+    }
 }
 
 /// Point-in-time view of a whole [`Registry`], with stable (sorted)
@@ -348,6 +388,69 @@ mod tests {
         assert_eq!(s.max, None);
         assert_eq!(s.mean(), 0.0);
         assert!(s.buckets.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.percentiles(), None);
+    }
+
+    #[test]
+    fn quantiles_of_a_single_sample_are_that_sample() {
+        let h = Histogram::default();
+        h.observe(37);
+        let s = h.snapshot();
+        // The min/max clamp pins every quantile to the one observation,
+        // despite the [32, 64) bucket being 32 wide.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(37.0), "q={q}");
+        }
+        assert_eq!(s.percentiles(), Some((37.0, 37.0, 37.0)));
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_respect_bucket_boundaries() {
+        let h = Histogram::default();
+        // 8 observations of 4 (bucket [4,8)), 2 of 16 (bucket [16,32)).
+        for _ in 0..8 {
+            h.observe(4);
+        }
+        h.observe(16);
+        h.observe(16);
+        let s = h.snapshot();
+        // p50: rank 5 of 8 inside [4,8) → 4 + 4·(5/8) = 6.5.
+        assert_eq!(s.quantile(0.5), Some(6.5));
+        // p80: rank 8 is exactly the [4,8) bucket's last observation —
+        // still interpolated inside that bucket, not the next one.
+        assert_eq!(s.quantile(0.8), Some(8.0));
+        // p90: rank 9, first of the [16,32) bucket: 16 + 16·(1/2) = 24,
+        // clamped to the observed max of 16.
+        assert_eq!(s.quantile(0.9), Some(16.0));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(s.quantile(-1.0), Some(4.0));
+        assert_eq!(s.quantile(2.0), Some(16.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::default();
+        let mut x: u64 = 0x9e37;
+        for _ in 0..500 {
+            // Cheap deterministic scatter across several buckets.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.observe(x >> 52);
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = (0..=20)
+            .filter_map(|i| s.quantile(f64::from(i) / 20.0))
+            .collect();
+        assert_eq!(qs.len(), 21, "quantiles of a non-empty histogram exist");
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        let (p50, p90, p99) = s.percentiles().expect("non-empty");
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= s.min.map(|m| m as f64).expect("min"));
+        assert!(p99 <= s.max.map(|m| m as f64).expect("max"));
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Flight recorder: a bounded ring of periodic metric samples plus a
+//! panic hook that dumps the black box.
+//!
+//! Long-running processes (the planned DPO-AF server, multi-hour bench
+//! sweeps) need two things a final-snapshot report cannot give: how
+//! metrics *evolved* over the run, and what the process was doing when
+//! it died. The flight recorder covers both with zero background
+//! threads: instrumented code calls [`tick`] at natural beats (pipeline
+//! iterations, training epochs, scored batches) and the recorder keeps
+//! a sample — every counter and gauge, timestamped — whenever the
+//! configured minimum interval has elapsed, in a bounded ring that
+//! forgets the oldest sample first. The samples surface as
+//! counter/gauge tracks in the Chrome trace and as the `samples` field
+//! of [`crate::Snapshot`].
+//!
+//! [`install_panic_hook`] chains a hook that, on panic with the
+//! recorder enabled, writes a JSON black box to stderr (and to a file
+//! when [`set_panic_dump_path`] was given one): the panic message and
+//! location, the panicking thread's open span stack, the ring of
+//! recent samples, and the final metric values. The previous hook runs
+//! afterwards, so default backtraces are preserved.
+
+use crate::json::Value;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One timestamped metric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSample {
+    /// Microseconds since the process time anchor.
+    pub t_us: u64,
+    /// Counter values at sample time, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values at sample time, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+}
+
+/// Default ring capacity (samples kept).
+pub const DEFAULT_CAPACITY: usize = 240;
+/// Default minimum microseconds between kept samples.
+pub const DEFAULT_MIN_INTERVAL_US: u64 = 250_000;
+
+static RING: Mutex<VecDeque<FlightSample>> = Mutex::new(VecDeque::new());
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static MIN_INTERVAL_US: AtomicU64 = AtomicU64::new(DEFAULT_MIN_INTERVAL_US);
+static LAST_SAMPLE_US: AtomicU64 = AtomicU64::new(0);
+static HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+fn ring() -> std::sync::MutexGuard<'static, VecDeque<FlightSample>> {
+    match RING.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Sets the ring capacity and the minimum interval between kept
+/// samples. A capacity of 0 disables sampling entirely.
+pub fn configure(capacity: usize, min_interval_us: u64) {
+    CAPACITY.store(capacity, Ordering::Relaxed);
+    MIN_INTERVAL_US.store(min_interval_us, Ordering::Relaxed);
+}
+
+/// Drops all samples and resets the throttle (called by
+/// [`crate::enable`]).
+pub fn clear() {
+    ring().clear();
+    LAST_SAMPLE_US.store(0, Ordering::Relaxed);
+}
+
+/// Offers the recorder a sampling opportunity. Cheap to call from hot
+/// beats: while the global recorder is off, or before the minimum
+/// interval has elapsed, this is a couple of relaxed loads. Otherwise
+/// one metrics snapshot is pushed into the ring (evicting the oldest
+/// sample when full).
+pub fn tick() {
+    if !crate::enabled() || CAPACITY.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let now = crate::now_us();
+    let last = LAST_SAMPLE_US.load(Ordering::Relaxed);
+    if now.saturating_sub(last) < MIN_INTERVAL_US.load(Ordering::Relaxed) && last != 0 {
+        return;
+    }
+    // A racing tick may double-sample; harmless for telemetry.
+    LAST_SAMPLE_US.store(now, Ordering::Relaxed);
+    force_tick();
+}
+
+/// Takes a sample unconditionally (recorder permitting) — stage
+/// boundaries use this so the ring always has the interesting edges.
+pub fn force_tick() {
+    if !crate::enabled() || CAPACITY.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let mut metrics = crate::global_registry_snapshot();
+    // Fold live allocation totals in under the same `alloc.*` names the
+    // final snapshot uses, so the Chrome trace grows heap/churn tracks
+    // whenever tracking is on.
+    if crate::alloc::tracked_any() {
+        crate::fold_alloc_metrics(&mut metrics, &crate::alloc::totals());
+    }
+    let sample = FlightSample {
+        t_us: crate::now_us(),
+        counters: metrics.counters,
+        gauges: metrics.gauges,
+    };
+    let mut ring = ring();
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    while ring.len() >= cap {
+        ring.pop_front();
+    }
+    ring.push_back(sample);
+}
+
+/// A copy of the ring, oldest sample first.
+pub fn samples() -> Vec<FlightSample> {
+    ring().iter().cloned().collect()
+}
+
+/// Where the panic hook should additionally write its JSON dump (on
+/// top of stderr). `None` (the default) keeps stderr only.
+pub fn set_panic_dump_path(path: Option<PathBuf>) {
+    let mut slot = match DUMP_PATH.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *slot = path;
+}
+
+/// The black-box JSON document the panic hook dumps.
+fn black_box(panic_msg: &str, location: &str) -> Value {
+    let metrics = crate::global_registry_snapshot();
+    let samples: Vec<Value> = samples()
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("t_us".into(), Value::Num(s.t_us as f64)),
+                (
+                    "counters".into(),
+                    Value::Obj(
+                        s.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges".into(),
+                    Value::Obj(
+                        s.gauges
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Str("obskit.flight.v1".into())),
+        ("panic".into(), Value::Str(panic_msg.into())),
+        ("location".into(), Value::Str(location.into())),
+        (
+            "span_stack".into(),
+            Value::Arr(
+                crate::current_span_stack()
+                    .into_iter()
+                    .map(Value::Str)
+                    .collect(),
+            ),
+        ),
+        ("samples".into(), Value::Arr(samples)),
+        (
+            "counters".into(),
+            Value::Obj(
+                metrics
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Value::Obj(
+                metrics
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders the black box for the given panic payload — separated from
+/// the hook so tests can exercise the dump without panicking.
+pub fn render_black_box(panic_msg: &str, location: &str) -> String {
+    black_box(panic_msg, location).to_json_pretty()
+}
+
+/// Installs the flight-recorder panic hook (idempotent). The hook only
+/// acts while the global recorder is enabled, so test binaries and
+/// library users who never record see stock panic behavior.
+pub fn install_panic_hook() {
+    if HOOK_INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if crate::enabled() {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            let location = info
+                .location()
+                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+                .unwrap_or_else(|| "<unknown>".to_owned());
+            let dump = render_black_box(&msg, &location);
+            eprintln!("== obskit flight recorder (panic black box) ==\n{dump}");
+            let path = match DUMP_PATH.lock() {
+                Ok(g) => g.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(&path, &dump) {
+                    eprintln!("flight recorder: writing {} failed: {e}", path.display());
+                } else {
+                    eprintln!("flight recorder: black box written to {}", path.display());
+                }
+            }
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring mechanics without the global recorder: capacity bound and
+    /// eviction order (FIFO) are pure data-structure behavior, tested
+    /// here by direct pushes.
+    #[test]
+    fn ring_is_bounded_fifo() {
+        clear();
+        configure(3, 0);
+        let mut r = ring();
+        for i in 0..5u64 {
+            while r.len() >= 3 {
+                r.pop_front();
+            }
+            r.push_back(FlightSample {
+                t_us: i,
+                counters: Vec::new(),
+                gauges: Vec::new(),
+            });
+        }
+        drop(r);
+        let kept: Vec<u64> = samples().iter().map(|s| s.t_us).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        clear();
+        configure(DEFAULT_CAPACITY, DEFAULT_MIN_INTERVAL_US);
+    }
+
+    #[test]
+    fn tick_is_a_noop_while_disabled() {
+        // The global recorder is off during unit tests; tick must not
+        // record anything.
+        clear();
+        tick();
+        force_tick();
+        assert!(samples().is_empty());
+    }
+
+    #[test]
+    fn black_box_renders_valid_json() {
+        let dump = render_black_box("boom", "src/lib.rs:1:1");
+        let doc = crate::json::parse(&dump).expect("dump parses");
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("obskit.flight.v1")
+        );
+        assert_eq!(doc.get("panic").and_then(Value::as_str), Some("boom"));
+        assert!(doc.get("span_stack").and_then(Value::as_arr).is_some());
+        assert!(doc.get("samples").and_then(Value::as_arr).is_some());
+    }
+}

@@ -1,13 +1,16 @@
 //! The stable `BENCH_<name>.json` report schema and its validator.
 //!
-//! Every bench binary writes one of these via `--metrics-out`; CI and
-//! the perf trajectory consume them. The schema is versioned through the
-//! `"schema"` marker — additive changes keep `obskit.bench.v1`, anything
-//! that breaks a reader bumps it.
+//! Every bench binary writes one of these via `--metrics-out`; CI, the
+//! perf trajectory and the `bench_diff` regression gate consume them.
+//! The schema is versioned through the `"schema"` marker — additive
+//! changes keep the marker, anything that breaks a reader bumps it.
+//! The current writer emits `obskit.bench.v2`; the validator still
+//! accepts committed `obskit.bench.v1` baselines (v1 lacks the
+//! histogram quantiles and the per-span allocation columns).
 //!
 //! ```json
 //! {
-//!   "schema": "obskit.bench.v1",
+//!   "schema": "obskit.bench.v2",
 //!   "bench": "headline",
 //!   "args": ["--fast"],
 //!   "wall_ms": 1234.5,
@@ -16,12 +19,14 @@
 //!   "histograms": {
 //!     "ltlcheck.lasso_len": {
 //!       "count": 10, "sum": 55, "min": 2, "max": 9, "mean": 5.5,
+//!       "p50": 5.0, "p90": 8.2, "p99": 9.0,
 //!       "buckets": [{"lo": 2, "hi": 4, "count": 3}]
 //!     }
 //!   },
 //!   "spans": [
 //!     {"name": "pipeline.run", "count": 1, "total_ms": 1200.0,
-//!      "max_ms": 1200.0, "self_ms": 10.0, "children": [...]}
+//!      "max_ms": 1200.0, "self_ms": 10.0,
+//!      "alloc_count": 420, "alloc_bytes": 1048576, "children": [...]}
 //!   ]
 //! }
 //! ```
@@ -31,8 +36,12 @@ use crate::metrics::MetricsSnapshot;
 use crate::span::SpanNode;
 use crate::Snapshot;
 
-/// The schema marker every v1 report carries.
-pub const SCHEMA: &str = "obskit.bench.v1";
+/// The schema marker the report writer currently emits.
+pub const SCHEMA: &str = "obskit.bench.v2";
+
+/// The previous schema marker; committed v1 baselines must keep
+/// validating and diffing.
+pub const SCHEMA_V1: &str = "obskit.bench.v1";
 
 /// A complete bench report, ready to serialize.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +109,11 @@ impl BenchReport {
                     fields.push(("max".into(), Value::Num(max as f64)));
                 }
                 fields.push(("mean".into(), Value::Num(h.mean())));
+                if let Some((p50, p90, p99)) = h.percentiles() {
+                    fields.push(("p50".into(), Value::Num(p50)));
+                    fields.push(("p90".into(), Value::Num(p90)));
+                    fields.push(("p99".into(), Value::Num(p99)));
+                }
                 fields.push(("buckets".into(), Value::Arr(buckets)));
                 (k.clone(), Value::Obj(fields))
             })
@@ -131,6 +145,8 @@ fn span_to_json(node: &SpanNode) -> Value {
         ("total_ms".into(), Value::Num(node.total_us as f64 / 1e3)),
         ("max_ms".into(), Value::Num(node.max_us as f64 / 1e3)),
         ("self_ms".into(), Value::Num(node.self_us() as f64 / 1e3)),
+        ("alloc_count".into(), Value::Num(node.alloc_count as f64)),
+        ("alloc_bytes".into(), Value::Num(node.alloc_bytes as f64)),
         (
             "children".into(),
             Value::Arr(node.children.iter().map(span_to_json).collect()),
@@ -147,7 +163,9 @@ pub struct Requirements {
     pub spans: Vec<String>,
 }
 
-/// Validates a serialized report against the v1 schema plus the given
+/// Validates a serialized report against the bench-report schema (the
+/// current `obskit.bench.v2` or the legacy `obskit.bench.v1` — v2-only
+/// fields are required exactly when the marker says v2) plus the given
 /// requirements.
 ///
 /// # Errors
@@ -161,8 +179,10 @@ pub fn validate(text: &str, req: &Requirements) -> Result<(), Vec<String>> {
         Err(e) => return Err(vec![e.to_string()]),
     };
 
+    let mut v2 = true;
     match doc.get("schema").and_then(Value::as_str) {
         Some(SCHEMA) => {}
+        Some(SCHEMA_V1) => v2 = false,
         Some(other) => problems.push(format!("unknown schema marker `{other}`")),
         None => problems.push("missing string field `schema`".into()),
     }
@@ -201,7 +221,7 @@ pub fn validate(text: &str, req: &Requirements) -> Result<(), Vec<String>> {
         None => problems.push("missing object field `histograms`".into()),
         Some(fields) => {
             for (name, h) in fields {
-                validate_histogram(name, h, &mut problems);
+                validate_histogram(name, h, v2, &mut problems);
             }
         }
     }
@@ -210,7 +230,7 @@ pub fn validate(text: &str, req: &Requirements) -> Result<(), Vec<String>> {
         None => problems.push("missing array field `spans`".into()),
         Some(nodes) => {
             for node in nodes {
-                validate_span(node, &mut problems);
+                validate_span(node, v2, &mut problems);
             }
         }
     }
@@ -237,11 +257,26 @@ pub fn validate(text: &str, req: &Requirements) -> Result<(), Vec<String>> {
     }
 }
 
-fn validate_histogram(name: &str, h: &Value, problems: &mut Vec<String>) {
+fn validate_histogram(name: &str, h: &Value, v2: bool, problems: &mut Vec<String>) {
     let count = h.get("count").and_then(Value::as_num);
     if count.is_none() || h.get("sum").and_then(Value::as_num).is_none() {
         problems.push(format!("histogram `{name}` lacks numeric count/sum"));
         return;
+    }
+    // v2 histograms with observations carry interpolated quantiles and
+    // they must be ordered.
+    if v2 && count.is_some_and(|c| c > 0.0) {
+        let q = |f: &str| h.get(f).and_then(Value::as_num);
+        match (q("p50"), q("p90"), q("p99")) {
+            (Some(p50), Some(p90), Some(p99)) => {
+                if !(p50 <= p90 && p90 <= p99) {
+                    problems.push(format!(
+                        "histogram `{name}`: quantiles not monotone (p50 {p50}, p90 {p90}, p99 {p99})"
+                    ));
+                }
+            }
+            _ => problems.push(format!("histogram `{name}` lacks numeric p50/p90/p99")),
+        }
     }
     let Some(buckets) = h.get("buckets").and_then(Value::as_arr) else {
         problems.push(format!("histogram `{name}` lacks a buckets array"));
@@ -271,7 +306,7 @@ fn validate_histogram(name: &str, h: &Value, problems: &mut Vec<String>) {
     }
 }
 
-fn validate_span(node: &Value, problems: &mut Vec<String>) {
+fn validate_span(node: &Value, v2: bool, problems: &mut Vec<String>) {
     let name = node.get("name").and_then(Value::as_str);
     if name.is_none() {
         problems.push("span node lacks a string `name`".into());
@@ -282,11 +317,18 @@ fn validate_span(node: &Value, problems: &mut Vec<String>) {
             problems.push(format!("span `{label}` lacks numeric `{field}`"));
         }
     }
+    if v2 {
+        for field in ["alloc_count", "alloc_bytes"] {
+            if node.get(field).and_then(Value::as_num).is_none() {
+                problems.push(format!("span `{label}` lacks numeric `{field}`"));
+            }
+        }
+    }
     match node.get("children").and_then(Value::as_arr) {
         None => problems.push(format!("span `{label}` lacks a `children` array")),
         Some(children) => {
             for child in children {
-                validate_span(child, problems);
+                validate_span(child, v2, problems);
             }
         }
     }
@@ -351,11 +393,15 @@ mod tests {
                 count: 1,
                 total_us: 120_000,
                 max_us: 120_000,
+                alloc_count: 12,
+                alloc_bytes: 4_096,
                 children: vec![SpanNode {
                     name: "pipeline.verify".into(),
                     count: 30,
                     total_us: 90_000,
                     max_us: 9_000,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
                     children: Vec::new(),
                 }],
             }],

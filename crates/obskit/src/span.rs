@@ -23,6 +23,11 @@ pub struct SpanRecord {
     pub thread: u64,
     /// Nesting depth on its thread (0 = root).
     pub depth: u16,
+    /// Heap allocations attributed to this span (0 unless the tracking
+    /// allocator was on; filled in at snapshot time).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 /// Sentinel duration of a span that has not finished yet.
@@ -67,6 +72,8 @@ impl SpanStore {
             parent,
             thread,
             depth,
+            alloc_count: 0,
+            alloc_bytes: 0,
         });
         id
     }
@@ -88,8 +95,20 @@ impl SpanStore {
             parent: Some(parent),
             thread,
             depth,
+            alloc_count: 0,
+            alloc_bytes: 0,
         });
         id
+    }
+
+    /// The names of the given span ids, in order (unknown ids are
+    /// skipped) — used by the flight recorder's panic dump to render
+    /// the panicking thread's open span stack.
+    pub fn names(&self, ids: &[u32]) -> Vec<String> {
+        let records = lock(&self.records);
+        ids.iter()
+            .filter_map(|&id| records.get(id as usize).map(|r| r.name.clone()))
+            .collect()
     }
 
     /// Closes span `id` at `end_us`.
@@ -143,6 +162,11 @@ pub struct SpanNode {
     pub total_us: u64,
     /// Longest single span.
     pub max_us: u64,
+    /// Heap allocations attributed to the folded spans (0 unless the
+    /// tracking allocator was on for the run).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
     /// Child nodes in first-seen order.
     pub children: Vec<SpanNode>,
 }
@@ -154,6 +178,8 @@ impl SpanNode {
             count: 0,
             total_us: 0,
             max_us: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
             children: Vec::new(),
         }
     }
@@ -216,6 +242,8 @@ pub fn aggregate(records: &[SpanRecord]) -> Vec<SpanNode> {
         node.count += 1;
         node.total_us += r.dur_us;
         node.max_us = node.max_us.max(r.dur_us);
+        node.alloc_count += r.alloc_count;
+        node.alloc_bytes += r.alloc_bytes;
     }
     forest
 }
@@ -232,6 +260,8 @@ mod tests {
             parent,
             thread: 0,
             depth,
+            alloc_count: 0,
+            alloc_bytes: 0,
         }
     }
 

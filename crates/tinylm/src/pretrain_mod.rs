@@ -132,6 +132,8 @@ pub fn pretrain_in(
             "pretrain.epoch",
             vec![("epoch", epoch.into()), ("nll", nll.into())],
         );
+        // Pretraining epochs are a flight-recorder beat (throttled).
+        obskit::recorder::tick();
     }
     if obskit::enabled() {
         obskit::counter_add("pretrain.tokens", tokens_seen);
