@@ -47,14 +47,18 @@ fn main() {
     let dataset = pipeline.collect_dataset(&reference, &mut rng);
     assert!(!dataset.is_empty(), "no strict preferences collected");
 
-    let trainer = DpoTrainer::new(cfg.train).with_ref_cache(cfg.ref_cache);
+    let trainer = DpoTrainer::new(cfg.train)
+        .with_ref_cache(cfg.ref_cache)
+        .with_pool_backward(cfg.pool_backward);
     let mut policy = reference.clone();
     progress!(
-        "training: {} epochs over {} pairs (threads {}, ref cache {}) …",
+        "training: {} epochs over {} pairs (threads {}, ref cache {}, kernels {}, pooled backward {}) …",
         cfg.train.epochs,
         dataset.len(),
         pipeline.pool().threads(),
-        if cfg.ref_cache { "on" } else { "off" }
+        if cfg.ref_cache { "on" } else { "off" },
+        cfg.kernel_mode,
+        if cfg.pool_backward { "on" } else { "off" }
     );
     let started = Instant::now();
     let stats = {

@@ -59,10 +59,15 @@ static ALLOC: obskit::alloc::TrackingAlloc = obskit::alloc::TrackingAlloc::new()
 /// | `--no-cache`         | disable the verification memo-cache |
 /// | `--no-ref-cache`     | disable the DPO reference-logprob cache |
 /// | `--no-semantic-preflight` | skip the semantic rule-book gate |
+/// | `--kernel-mode <m>`  | tape kernel arithmetic: `reference` (default) or `fast` |
+/// | `--pool-backward`    | fan the DPO backward's matmul gradients over the pool |
 ///
-/// `--threads`, `--no-cache`, `--no-ref-cache` and
+/// `--threads`, `--no-cache`, `--no-ref-cache`, `--pool-backward` and
 /// `--no-semantic-preflight` are pure performance/gating knobs — results
-/// are byte-identical whatever you pass (see DESIGN.md §8–§10).
+/// are byte-identical whatever you pass (see DESIGN.md §8–§10, §13).
+/// `--kernel-mode fast` is the exception: it reassociates kernel
+/// accumulation, so artifacts deviate within the `kernel_gate` tolerance
+/// instead of matching byte-for-byte (DESIGN.md §13).
 ///
 /// [`BenchCli::parse`] enables the global `obskit` recorder (unless
 /// `--no-obs`), and [`BenchCli::finish`] snapshots it and writes the
@@ -93,6 +98,11 @@ pub struct BenchCli {
     /// `--no-semantic-preflight` was passed: skip the semantic rule-book
     /// gate (used by CI to prove the gate never changes artifacts).
     pub no_semantic_preflight: bool,
+    /// `--kernel-mode` value (`reference` unless `fast` was requested).
+    pub kernel_mode: tinylm::KernelMode,
+    /// `--pool-backward` was passed: fan the DPO backward pass's matmul
+    /// gradient work over the worker pool.
+    pub pool_backward: bool,
     /// The raw argument list (recorded in the report for provenance).
     pub args: Vec<String>,
     started: Instant,
@@ -119,6 +129,8 @@ impl BenchCli {
             no_cache: false,
             no_ref_cache: false,
             no_semantic_preflight: false,
+            kernel_mode: tinylm::KernelMode::Reference,
+            pool_backward: false,
             args: args.clone(),
             started: Instant::now(),
         };
@@ -133,6 +145,14 @@ impl BenchCli {
                 "--no-cache" => cli.no_cache = true,
                 "--no-ref-cache" => cli.no_ref_cache = true,
                 "--no-semantic-preflight" => cli.no_semantic_preflight = true,
+                "--pool-backward" => cli.pool_backward = true,
+                "--kernel-mode" => {
+                    cli.kernel_mode = it
+                        .next()
+                        .as_deref()
+                        .and_then(tinylm::KernelMode::parse)
+                        .unwrap_or_default();
+                }
                 "--metrics-out" => cli.metrics_out = it.next().map(PathBuf::from),
                 "--trace-out" => cli.trace_out = it.next().map(PathBuf::from),
                 "--flame-out" => cli.flame_out = it.next().map(PathBuf::from),
@@ -206,6 +226,8 @@ impl BenchCli {
         cfg.verify_cache = !self.no_cache;
         cfg.ref_cache = !self.no_ref_cache;
         cfg.semantic_preflight = !self.no_semantic_preflight;
+        cfg.kernel_mode = self.kernel_mode;
+        cfg.pool_backward = self.pool_backward;
         cfg
     }
 }
@@ -288,6 +310,9 @@ mod tests {
                 "4",
                 "--no-cache",
                 "--no-ref-cache",
+                "--kernel-mode",
+                "fast",
+                "--pool-backward",
                 "--seeds=3", // unknown flags are left for the binary
             ]
             .map(str::to_owned)
@@ -312,19 +337,25 @@ mod tests {
         assert_eq!(cli.threads, 4);
         assert!(cli.no_cache);
         assert!(cli.no_ref_cache);
-        assert_eq!(cli.args.len(), 14);
+        assert_eq!(cli.kernel_mode, tinylm::KernelMode::Fast);
+        assert!(cli.pool_backward);
+        assert_eq!(cli.args.len(), 17);
 
         // The performance knobs land in the pipeline configuration.
         let cfg = cli.pipeline_config();
         assert_eq!(cfg.threads, 4);
         assert!(!cfg.verify_cache);
         assert!(!cfg.ref_cache);
+        assert_eq!(cfg.kernel_mode, tinylm::KernelMode::Fast);
+        assert!(cfg.pool_backward);
         let defaults = BenchCli::from_args("headline", vec!["--no-obs".to_owned()]);
         assert_eq!(defaults.threads, 0);
         let cfg = defaults.pipeline_config();
         assert_eq!(cfg.threads, 0);
         assert!(cfg.verify_cache);
         assert!(cfg.ref_cache);
+        assert_eq!(cfg.kernel_mode, tinylm::KernelMode::Reference);
+        assert!(!cfg.pool_backward);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
-use tinylm::{pretrain, AdaptMode, CondLm, LmConfig, PretrainOptions, SampleOptions};
+use tinylm::{pretrain, AdaptMode, CondLm, KernelMode, LmConfig, PretrainOptions, SampleOptions};
 
 /// Pipeline hyperparameters.
 ///
@@ -89,11 +89,12 @@ pub struct PipelineConfig {
     /// or certified counters; on by default.
     pub verify_cache: bool,
     /// Maximum resident verdicts in the memo-cache (`None` = unbounded).
-    /// Past the bound the oldest entry in the affected shard is evicted
-    /// (FIFO) and `verify.cache_evictions` counts it. Purely a memory
-    /// knob: an evicted verdict recomputes on the next miss, so
-    /// artifacts are byte-identical at any capacity. The default bound
-    /// keeps a long-running service's cache a working set, not a leak.
+    /// Past the bound the least-recently-used entry in the affected shard
+    /// is evicted (LRU — both hits and overwrites refresh recency) and
+    /// `verify.cache_evictions` counts it. Purely a memory knob: an
+    /// evicted verdict recomputes on the next miss, so artifacts are
+    /// byte-identical at any capacity. The default bound keeps a
+    /// long-running service's cache a working set, not a leak.
     pub verify_cache_capacity: Option<usize>,
     /// Precompute the frozen reference model's sequence log-probs once
     /// per DPO phase instead of re-running the reference forward for
@@ -109,6 +110,18 @@ pub struct PipelineConfig {
     /// The verdict is memoized process-wide, so the cost is one semantic
     /// sweep per process, not per run.
     pub semantic_preflight: bool,
+    /// Which arithmetic the tinylm tape kernels use (see
+    /// `tinylm::kernels`): `reference` (default) is bit-identical to the
+    /// historical scalar loops; `fast` reassociates accumulation and
+    /// fuses multiply-adds, trading byte identity for speed within the
+    /// tolerance bounded by the `kernel_gate` CI gate. Set process-wide
+    /// when the pipeline is constructed.
+    pub kernel_mode: KernelMode,
+    /// Run the DPO backward pass with its matmul gradient work fanned
+    /// over the worker pool (intra-pair parallelism) instead of fanning
+    /// whole pairs out. Byte-identical at any thread count either way;
+    /// off by default.
+    pub pool_backward: bool,
 }
 
 /// The source of the automated ranking signal.
@@ -166,6 +179,8 @@ impl Default for PipelineConfig {
             verify_cache_capacity: Some(1 << 16),
             ref_cache: true,
             semantic_preflight: true,
+            kernel_mode: KernelMode::Reference,
+            pool_backward: false,
         }
     }
 }
@@ -275,8 +290,13 @@ pub struct DpoAf {
 }
 
 impl DpoAf {
-    /// Creates a pipeline over a fresh [`DomainBundle`].
+    /// Creates a pipeline over a fresh [`DomainBundle`]. Sets the
+    /// process-global tinylm kernel mode to
+    /// [`PipelineConfig::kernel_mode`] — tapes capture it on their next
+    /// reset, so every workspace (including pool workers' thread-locals)
+    /// follows the configured mode.
     pub fn new(config: PipelineConfig) -> Self {
+        tinylm::kernels::set_mode(config.kernel_mode);
         DpoAf {
             bundle: DomainBundle::new(),
             cert_counters: Mutex::new(CertCounters::default()),
@@ -631,7 +651,9 @@ impl DpoAf {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let pretrained = self.pretrained_lm(&mut rng);
 
-        let trainer = DpoTrainer::new(self.config.train).with_ref_cache(self.config.ref_cache);
+        let trainer = DpoTrainer::new(self.config.train)
+            .with_ref_cache(self.config.ref_cache)
+            .with_pool_backward(self.config.pool_backward);
         let train_tasks = self.training_tasks();
         let val_tasks = self.config.validation_tasks.clone();
         let mut evals = Vec::new();

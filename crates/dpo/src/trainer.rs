@@ -63,6 +63,15 @@ pub struct DpoTrainer {
     /// bit-identical either way. Defaults to on; turning it off exists
     /// for the equivalence tests and CI byte-equality gate.
     pub ref_cache: bool,
+    /// Fan each pair's backward matmul gradient work over the pool
+    /// (intra-pair parallelism) instead of fanning whole pairs out
+    /// (inter-pair parallelism). When set, pairs run serially and
+    /// [`tinylm::CondLm::seq_grad_pooled_in`] splits the matmul gradients
+    /// into contiguous blocks — byte-identical at any thread count, like
+    /// the per-pair fan-out, but with parallelism available even at
+    /// `batch_size` 1. The two strategies are exclusive so they never
+    /// contend for the same workers. Defaults to off.
+    pub pool_backward: bool,
 }
 
 impl DpoTrainer {
@@ -71,6 +80,7 @@ impl DpoTrainer {
         DpoTrainer {
             options,
             ref_cache: true,
+            pool_backward: false,
         }
     }
 
@@ -78,6 +88,14 @@ impl DpoTrainer {
     #[must_use]
     pub fn with_ref_cache(mut self, on: bool) -> Self {
         self.ref_cache = on;
+        self
+    }
+
+    /// Returns this trainer with the pooled backward pass toggled (see
+    /// [`DpoTrainer::pool_backward`]).
+    #[must_use]
+    pub fn with_pool_backward(mut self, on: bool) -> Self {
+        self.pool_backward = on;
         self
     }
 
@@ -185,32 +203,39 @@ impl DpoTrainer {
             {
                 let epoch_span = obskit::span("dpo.epoch");
                 let under = Some(epoch_span.handoff());
-                let pair_grad = |i: usize, policy: &CondLm| {
-                    let pair = &dataset.pairs[i];
-                    let (ref_w, ref_l) = match &ref_lps {
-                        Some(cache) => {
-                            obskit::counter_add("dpo.ref_cache_hits", 2);
-                            cache[i]
-                        }
-                        None => (
-                            reference.log_prob(pair.task, &pair.winner)?,
-                            reference.log_prob(pair.task, &pair.loser)?,
-                        ),
+                let pair_grad =
+                    |i: usize, policy: &CondLm, bw_pool: Option<&parkit::ThreadPool>| {
+                        let pair = &dataset.pairs[i];
+                        let (ref_w, ref_l) = match &ref_lps {
+                            Some(cache) => {
+                                obskit::counter_add("dpo.ref_cache_hits", 2);
+                                cache[i]
+                            }
+                            None => (
+                                reference.log_prob(pair.task, &pair.winner)?,
+                                reference.log_prob(pair.task, &pair.loser)?,
+                            ),
+                        };
+                        pair_grad_under(policy, pair, ref_w, ref_l, opts.beta, under, bw_pool)
                     };
-                    pair_grad_under(policy, pair, ref_w, ref_l, opts.beta, under)
-                };
                 for batch in epoch_pairs.chunks(opts.batch_size) {
                     let mut grad = GradBuffer::zeros(policy);
                     let per_pair: Vec<(PairEval, GradBuffer)> = match pool {
+                        // Intra-pair parallelism: pairs stay serial, each
+                        // backward fans its matmul gradients over the pool.
+                        Some(pool) if self.pool_backward && pool.threads() > 1 => batch
+                            .iter()
+                            .map(|&i| pair_grad(i, policy, Some(pool)))
+                            .collect::<Result<Vec<_>, LmError>>()?,
                         Some(pool) if pool.threads() > 1 => {
                             let frozen: &CondLm = policy;
-                            pool.map(batch, |_, &i| pair_grad(i, frozen))
+                            pool.map(batch, |_, &i| pair_grad(i, frozen, None))
                                 .into_iter()
                                 .collect::<Result<Vec<_>, LmError>>()?
                         }
                         _ => batch
                             .iter()
-                            .map(|&i| pair_grad(i, policy))
+                            .map(|&i| pair_grad(i, policy, None))
                             .collect::<Result<Vec<_>, LmError>>()?,
                     };
                     for (&i, (eval, g)) in batch.iter().zip(&per_pair) {
@@ -444,6 +469,40 @@ mod tests {
                 p_serial.params(),
                 p_pooled.params(),
                 "weights diverged at {threads} threads"
+            );
+            assert_eq!(s_serial, s_pooled);
+        }
+    }
+
+    /// The pooled backward pass splits matmul gradients into disjoint
+    /// contiguous blocks whose folds are complete per element, so
+    /// training with it is byte-identical to serial at any thread count.
+    #[test]
+    fn pooled_backward_is_bit_identical() {
+        let (policy0, reference, ds) = varied_dataset();
+        let opts = TrainOptions {
+            epochs: 3,
+            pairs_per_epoch: Some(8),
+            batch_size: 4,
+            ..TrainOptions::default()
+        };
+        let run = |pool: Option<&parkit::ThreadPool>, pool_backward: bool| {
+            let trainer = DpoTrainer::new(opts).with_pool_backward(pool_backward);
+            let mut p = policy0.clone();
+            let mut rng = StdRng::seed_from_u64(29);
+            let stats = trainer
+                .train_in(&mut p, &reference, &ds, &mut rng, |_, _| {}, pool)
+                .unwrap();
+            (p, stats)
+        };
+        let (p_serial, s_serial) = run(None, false);
+        for threads in [2, 4] {
+            let pool = parkit::ThreadPool::new(threads);
+            let (p_pooled, s_pooled) = run(Some(&pool), true);
+            assert_eq!(
+                p_serial.params(),
+                p_pooled.params(),
+                "weights diverged with the pooled backward at {threads} threads"
             );
             assert_eq!(s_serial, s_pooled);
         }

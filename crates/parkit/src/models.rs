@@ -179,6 +179,45 @@ pub fn sharded_map_consistency(config: &Config) -> Report {
     })
 }
 
+/// The LRU touch path under contention: a concurrent `get` (which
+/// relinks the entry to the recency-list front) racing a fresh insert
+/// that must evict the current LRU tail. Under every interleaving the
+/// list and map stay consistent: the capacity bound holds, values are
+/// untorn, the new key always lands, and the survivor set is one of the
+/// two orders the race admits.
+pub fn sharded_map_lru_touch(config: &Config) -> Report {
+    explore(config, || {
+        // One shard of capacity 2, pre-seeded serially: recency order is
+        // [2 (MRU), 1 (LRU)].
+        let map: Arc<ShardedMap<u8, (u32, u32)>> = Arc::new(ShardedMap::new(1, Some(2)));
+        map.insert(1, (10, 20));
+        map.insert(2, (7, 14));
+        let toucher = {
+            let map = map.clone();
+            conckit::thread::spawn(move || {
+                // Touch 1. Before the insert: 1 becomes MRU and the
+                // insert evicts 2. After the eviction of 1: a miss.
+                if let Some(v) = map.get(&1) {
+                    assert_eq!(v, (10, 20), "torn read");
+                }
+            })
+        };
+        map.insert(3, (5, 15));
+        let _ = toucher.join();
+        assert!(map.len() <= 2, "capacity bound violated: {}", map.len());
+        let v3 = map.get(&3);
+        assert_eq!(v3, Some((5, 15)), "the fresh insert must survive");
+        let survived_1 = map.get(&1).inspect(|v| assert_eq!(*v, (10, 20)));
+        let survived_2 = map.get(&2).inspect(|v| assert_eq!(*v, (7, 14)));
+        // Exactly one of the seeds survives: 1 if the touch won the
+        // race (2 was the LRU victim), 2 if the insert did.
+        assert!(
+            survived_1.is_some() != survived_2.is_some(),
+            "survivors {survived_1:?}/{survived_2:?} admit no serial order"
+        );
+    })
+}
+
 /// One model: a closed concurrent scenario explored under a [`Config`].
 pub type Model = fn(&Config) -> Report;
 
@@ -192,6 +231,7 @@ pub fn all() -> Vec<(&'static str, Model)> {
         ("pool_shutdown_quiesces", pool_shutdown_quiesces),
         ("deque_discipline", deque_discipline),
         ("sharded_map_consistency", sharded_map_consistency),
+        ("sharded_map_lru_touch", sharded_map_lru_touch),
     ]
 }
 
@@ -233,6 +273,13 @@ mod tests {
     #[test]
     fn model_sharded_map_consistency() {
         let report = sharded_map_consistency(&config());
+        report.assert_ok();
+        assert!(report.schedules >= 2, "expected real branching");
+    }
+
+    #[test]
+    fn model_sharded_map_lru_touch() {
+        let report = sharded_map_lru_touch(&config());
         report.assert_ok();
         assert!(report.schedules >= 2, "expected real branching");
     }

@@ -1,19 +1,22 @@
-//! A sharded, bounded, insertion-ordered concurrent map.
+//! A sharded, bounded, LRU concurrent map.
 //!
 //! The generic concurrency structure behind `dpo-af`'s verification
 //! memo-cache, hoisted into parkit so the interleaving-sensitive part
 //! can be model-checked with conckit alongside the pool it shares
 //! traffic with. Keys hash to one of N shards, each a mutex around a
-//! `HashMap` plus an insertion-order queue; contention is divided by N
+//! `HashMap` plus an intrusive recency list; contention is divided by N
 //! and the critical sections are single map operations.
 //!
 //! **Bounded.** Each shard holds at most `ceil(capacity / shards)`
 //! entries. Inserting a fresh key into a full shard evicts that shard's
-//! oldest entry first — FIFO, not LRU: order maintenance is O(1) and
-//! deterministic (no read-reordering races), and for memoized verifier
-//! verdicts every entry is uniformly cheap to recompute, so recency
-//! tracking buys little. An unbounded map in a long-running service is
-//! a slow leak; the bound turns it into a plain working set.
+//! least-recently-used entry. Recency is tracked with a slab-backed
+//! doubly-linked list (slot indices, not pointers): `get`, `insert`,
+//! touch and evict are all O(1), and a hit moves its entry to the front
+//! inside the same lock the lookup already holds, so LRU costs nothing
+//! over the FIFO it replaced while keeping hot verdicts resident under
+//! a working set that no longer fits the bound. An unbounded map in a
+//! long-running service is a slow leak; the bound turns it into a plain
+//! working set.
 //!
 //! Eviction never changes *values*: a `get` after an eviction is a miss
 //! that recomputes, so a bounded cache must produce byte-identical
@@ -21,7 +24,7 @@
 
 use conckit::sync::Mutex;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// What an [`ShardedMap::insert`] did.
@@ -30,17 +33,79 @@ pub struct InsertOutcome {
     /// The key was not present (an overwrite of an existing key is not
     /// fresh and can never evict).
     pub fresh: bool,
-    /// A fresh insert displaced the shard's oldest entry.
+    /// A fresh insert displaced the shard's least-recently-used entry.
     pub evicted: bool,
 }
 
-struct Shard<K, V> {
-    map: HashMap<K, V>,
-    /// Insertion order of live keys, oldest at the front.
-    order: VecDeque<K>,
+/// Sentinel slot index terminating the recency list.
+const NIL: usize = usize::MAX;
+
+/// One resident entry: the key/value plus its recency-list links.
+struct Entry<K, V> {
+    key: K,
+    val: V,
+    prev: usize,
+    next: usize,
 }
 
-/// A sharded hash map with per-shard FIFO eviction. See the module docs.
+struct Shard<K, V> {
+    /// Key → slot index into `slots`.
+    map: HashMap<K, usize>,
+    /// Slab of entries; linked through `prev`/`next` in recency order.
+    slots: Vec<Entry<K, V>>,
+    /// Slot indices freed by eviction, reused before growing the slab.
+    free: Vec<usize>,
+    /// Most-recently-used slot (`NIL` when empty).
+    head: usize,
+    /// Least-recently-used slot (`NIL` when empty) — the eviction victim.
+    tail: usize,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Detaches slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links slot `i` at the front (most-recently-used end).
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Marks slot `i` as most recently used.
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+}
+
+/// A sharded hash map with per-shard LRU eviction. See the module docs.
 pub struct ShardedMap<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     /// Per-shard entry bound (`None` = unbounded).
@@ -65,14 +130,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         let shards = shards.max(1);
         let per_shard = capacity.map(|c| c.div_ceil(shards).max(1));
         ShardedMap {
-            shards: (0..shards)
-                .map(|_| {
-                    Mutex::new(Shard {
-                        map: HashMap::new(),
-                        order: VecDeque::new(),
-                    })
-                })
-                .collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             per_shard,
         }
     }
@@ -85,38 +143,66 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Returns a clone of the value for `key`, if present.
+    /// Returns a clone of the value for `key`, if present, marking the
+    /// entry most recently used (the touch happens inside the lock the
+    /// lookup already holds).
     pub fn get(&self, key: &K) -> Option<V> {
-        let shard = match self.shard_of(key).lock() {
+        let mut shard = match self.shard_of(key).lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        shard.map.get(key).cloned()
+        let i = *shard.map.get(key)?;
+        shard.touch(i);
+        Some(shard.slots[i].val.clone())
     }
 
-    /// Inserts `key -> value`, evicting the shard's oldest entry when a
-    /// fresh key lands in a full shard. Overwriting an existing key
-    /// keeps its original insertion-order position.
+    /// Inserts `key -> value`, evicting the shard's least-recently-used
+    /// entry when a fresh key lands in a full shard. Both fresh inserts
+    /// and overwrites mark the key most recently used.
     pub fn insert(&self, key: K, value: V) -> InsertOutcome {
         let mut shard = match self.shard_of(&key).lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if shard.map.insert(key.clone(), value).is_some() {
+        let shard = &mut *shard;
+        if let Some(&i) = shard.map.get(&key) {
+            shard.slots[i].val = value;
+            shard.touch(i);
             return InsertOutcome {
                 fresh: false,
                 evicted: false,
             };
         }
-        shard.order.push_back(key);
+        let entry = Entry {
+            key: key.clone(),
+            val: value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match shard.free.pop() {
+            Some(i) => {
+                shard.slots[i] = entry;
+                i
+            }
+            None => {
+                shard.slots.push(entry);
+                shard.slots.len() - 1
+            }
+        };
+        shard.push_front(i);
+        shard.map.insert(key, i);
         let evicted = match self.per_shard {
-            Some(cap) if shard.order.len() > cap => match shard.order.pop_front() {
-                Some(oldest) => {
-                    shard.map.remove(&oldest);
-                    true
-                }
-                None => false,
-            },
+            Some(cap) if shard.map.len() > cap => {
+                // Over the bound the shard holds ≥ 2 entries, so the
+                // tail is a real slot and (being over-capacity by
+                // exactly one fresh insert at the head) never the key
+                // just inserted.
+                let t = shard.tail;
+                shard.unlink(t);
+                shard.map.remove(&shard.slots[t].key);
+                shard.free.push(t);
+                true
+            }
             _ => false,
         };
         InsertOutcome {
@@ -181,7 +267,8 @@ mod tests {
             m.insert(k, k * 10);
         }
         assert_eq!(m.len(), 3);
-        // FIFO: the three newest survive.
+        // Insert-only traffic degrades LRU to FIFO: the three newest
+        // survive.
         for k in 7..10 {
             assert_eq!(m.get(&k), Some(k * 10), "key {k}");
         }
@@ -204,6 +291,42 @@ mod tests {
     }
 
     #[test]
+    fn get_touches_recency() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(1, Some(2));
+        m.insert(1, 10);
+        m.insert(2, 20);
+        // Touch key 1: key 2 becomes the LRU victim.
+        assert_eq!(m.get(&1), Some(10));
+        assert!(m.insert(3, 30).evicted);
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.get(&3), Some(30));
+    }
+
+    #[test]
+    fn overwrite_touches_recency() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(1, Some(2));
+        m.insert(1, 10);
+        m.insert(2, 20);
+        // Overwriting key 1 refreshes it: key 2 becomes the victim.
+        m.insert(1, 11);
+        assert!(m.insert(3, 30).evicted);
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.get(&2), None);
+    }
+
+    #[test]
+    fn evicted_slots_are_reused() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(1, Some(2));
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&99), Some(99));
+        assert_eq!(m.get(&98), Some(98));
+    }
+
+    #[test]
     fn sharded_capacity_rounds_up() {
         // 4 shards, capacity 6 -> 2 per shard; total never exceeds 8.
         let m: ShardedMap<u64, u64> = ShardedMap::new(4, Some(6));
@@ -220,5 +343,27 @@ mod tests {
             assert!(!m.insert(k, k).evicted);
         }
         assert_eq!(m.len(), 1000);
+    }
+
+    /// Long mixed workloads keep the linked list and map consistent.
+    #[test]
+    fn mixed_workload_stays_consistent() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(2, Some(6));
+        for round in 0..50u64 {
+            for k in 0..10 {
+                if (round + k) % 3 == 0 {
+                    let _ = m.get(&k);
+                } else {
+                    m.insert(k, round * 100 + k);
+                }
+            }
+            assert!(m.len() <= 8, "len {} round {round}", m.len());
+        }
+        // Every resident key returns the value of its last insert.
+        for k in 0..10 {
+            if let Some(v) = m.get(&k) {
+                assert_eq!(v % 100, k);
+            }
+        }
     }
 }

@@ -1,0 +1,94 @@
+//! Integration tests for the process-global kernel mode — in their own
+//! test binary (hence process) so flipping the global cannot race the
+//! unit-test threads, which use pinned workspaces instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinylm::{kernels, AdaptMode, CondLm, KernelMode, LmConfig, SeqWorkspace};
+
+fn model_and_seq() -> (CondLm, Vec<tinylm::Token>) {
+    let cfg = LmConfig {
+        vocab_size: 24,
+        num_tasks: 2,
+        adapt: AdaptMode::Full,
+        ..LmConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = CondLm::new(cfg, &mut rng);
+    let toks = (0..9).map(|_| rng.gen_range(3..24u32)).collect();
+    (model, toks)
+}
+
+/// The global defaults to `Reference`; fresh and reset tapes capture
+/// whatever the global currently is; pinned workspaces ignore it.
+#[test]
+fn global_mode_roundtrip() {
+    assert_eq!(kernels::mode(), KernelMode::Reference);
+    let (model, toks) = model_and_seq();
+
+    // A default workspace built now captures Reference.
+    let mut ws = SeqWorkspace::new();
+    let v_ref = model
+        .seq_forward_in(0, &toks, &mut ws)
+        .expect("valid sequence")
+        .value();
+
+    // Flip the global: the same workspace picks it up on reset (the hot
+    // paths reset before building each round's graphs).
+    kernels::set_mode(KernelMode::Fast);
+    ws.reset();
+    let v_fast = model
+        .seq_forward_in(0, &toks, &mut ws)
+        .expect("valid sequence")
+        .value();
+
+    // A pinned workspace stays in its mode regardless of the global.
+    let mut pinned = SeqWorkspace::with_mode(KernelMode::Reference);
+    let v_pinned = model
+        .seq_forward_in(0, &toks, &mut pinned)
+        .expect("valid sequence")
+        .value();
+
+    kernels::set_mode(KernelMode::Reference);
+    assert_eq!(v_pinned.to_bits(), v_ref.to_bits(), "pinned mode leaked");
+    // Fast mode must agree closely but is allowed to differ in the last
+    // bits — and on this shape it genuinely does, proving the flip took.
+    assert_ne!(v_fast.to_bits(), v_ref.to_bits(), "mode flip had no effect");
+    assert!((f64::from(v_fast) - f64::from(v_ref)).abs() <= 1e-4 * f64::from(v_ref.abs()));
+}
+
+/// Model-level fast-math tolerance: values and full gradients from a
+/// pinned fast workspace track the reference within a tight relative
+/// envelope across ragged sequence lengths.
+#[test]
+fn fast_mode_tracks_reference_at_model_level() {
+    let (model, _) = model_and_seq();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut ws_ref = SeqWorkspace::with_mode(KernelMode::Reference);
+    let mut ws_fast = SeqWorkspace::with_mode(KernelMode::Fast);
+    for len in [1usize, 2, 5, 8, 13] {
+        let toks: Vec<u32> = (0..len).map(|_| rng.gen_range(3..24u32)).collect();
+        ws_ref.reset();
+        ws_fast.reset();
+        let g_ref = model
+            .seq_forward_in(1, &toks, &mut ws_ref)
+            .expect("valid sequence");
+        let g_fast = model
+            .seq_forward_in(1, &toks, &mut ws_fast)
+            .expect("valid sequence");
+        let (vr, vf) = (f64::from(g_ref.value()), f64::from(g_fast.value()));
+        assert!(
+            (vr - vf).abs() <= 1e-5 * vr.abs().max(1.0),
+            "len {len}: value {vr} vs {vf}"
+        );
+        let d_ref = model.seq_grad_in(&g_ref, &mut ws_ref);
+        let d_fast = model.seq_grad_in(&g_fast, &mut ws_fast);
+        for (i, (a, b)) in d_ref.0.iter().zip(&d_fast.0).enumerate() {
+            let (a, b) = (f64::from(*a), f64::from(*b));
+            assert!(
+                (a - b).abs() <= 1e-4 * a.abs().max(b.abs()).max(1.0),
+                "len {len}: grad[{i}] {a} vs {b}"
+            );
+        }
+    }
+}
