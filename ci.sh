@@ -6,7 +6,12 @@
 # (exhaustive interleaving exploration of the parkit pool/deque and the
 # sharded verdict cache, plus a miri pass when the interpreter is
 # installed), the certkit certification + explicit-vs-symbolic
-# differential suite, an instrumented bench smoke run (allocation
+# differential suite (including the scaled drivesim/warehouse models
+# under a time budget), the symbolic backend gate (a fast
+# backend_compare --sweep whose symbolic.* counters are validated by
+# metrics_check and diffed exactly against the committed
+# results/BENCH_backend.json baseline), an instrumented bench smoke
+# run (allocation
 # tracking on) validated against the obskit.bench.v2 report schema
 # (metrics_check), byte-equality gates proving the performance and
 # gating knobs (--threads, DPO ref cache, verdict-cache capacity,
@@ -61,15 +66,26 @@ cargo run -q --release -p bench --features model --bin conc_check -- \
 cargo run -q --release -p bench --bin metrics_check -- "$conc_report" \
     --require conckit.schedules,conckit.steps,conckit.violations,conckit.max_depth
 
-echo "==> certkit gate (certification + differential suite)"
+echo "==> certkit gate (certification + differential suite, incl. scaled models)"
 cargo run -q -p certkit --release
+
+echo "==> symbolic backend gate (fast sweep, symbolic.* metrics, counter diff vs baseline)"
+sweep_report="$(mktemp -t BENCH_backend.XXXXXX.json)"
+trap 'rm -f "$conc_report" "$sweep_report"' EXIT
+cargo run -q --release -p bench --bin backend_compare -- \
+    --sweep --fast --quiet --metrics-out "$sweep_report" > /dev/null
+cargo run -q --release -p bench --bin metrics_check -- "$sweep_report" \
+    --require symbolic.checks,symbolic.cache_hits,symbolic.cache_lookups,symbolic.el_iterations,symbolic.peak_nodes,symbolic.reach_rings,backend.sweep_scales,ltlcheck.checks
+cargo run -q --release -p bench --bin bench_diff -- \
+    results/BENCH_backend.json "$sweep_report" \
+    --budgets results/PERF_BUDGETS.json
 
 echo "==> obskit smoke gate (instrumented 2-thread bench run, alloc tracking on)"
 smoke_report="$(mktemp -t BENCH_smoke.XXXXXX.json)"
 smoke_art1="$(mktemp -t headline_t1.XXXXXX.json)"
 smoke_art2="$(mktemp -t headline_t2.XXXXXX.json)"
 smoke_art3="$(mktemp -t headline_norefcache.XXXXXX.json)"
-trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$conc_report"' EXIT
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$conc_report" "$sweep_report"' EXIT
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --threads 2 --alloc --metrics-out "$smoke_report" \
     --artifacts-out "$smoke_art2" > /dev/null
@@ -100,7 +116,7 @@ cmp "$smoke_art1" "$smoke_art4"
 
 echo "==> pooled-backward determinism gate (headline artifacts, serial vs pooled backward)"
 smoke_art5="$(mktemp -t headline_poolbw.XXXXXX.json)"
-trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$smoke_art5" "$conc_report"' EXIT
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$smoke_art5" "$conc_report" "$sweep_report"' EXIT
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --no-obs --threads 2 --pool-backward \
     --artifacts-out "$smoke_art5" > /dev/null
@@ -111,7 +127,7 @@ cargo run -q --release -p bench --bin kernel_gate -- --no-obs
 
 echo "==> perf budget gate (bench_diff vs committed fast-headline baseline)"
 perf_report="$(mktemp -t BENCH_perf.XXXXXX.json)"
-trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$smoke_art5" "$conc_report" "$perf_report"' EXIT
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$smoke_art5" "$conc_report" "$sweep_report" "$perf_report"' EXIT
 cargo run -q --release -p bench --bin headline -- \
     --fast --quiet --threads 1 --alloc --metrics-out "$perf_report" > /dev/null
 cargo run -q --release -p bench --bin bench_diff -- \
@@ -126,7 +142,7 @@ cargo run -q --release -p bench --bin bench_diff -- \
 # span below the gate's min-share floor in the fast baseline.)
 echo "==> perf gate self-test (identical reports pass, seeded +25% regression fails)"
 seeded_out="$(mktemp -t bench_diff_seeded.XXXXXX.txt)"
-trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$smoke_art5" "$conc_report" "$perf_report" "$seeded_out"' EXIT
+trap 'rm -f "$smoke_report" "$smoke_art1" "$smoke_art2" "$smoke_art3" "$smoke_art4" "$smoke_art5" "$conc_report" "$sweep_report" "$perf_report" "$seeded_out"' EXIT
 cargo run -q --release -p bench --bin bench_diff -- \
     results/BENCH_headline_fast.json results/BENCH_headline_fast.json \
     --budgets results/PERF_BUDGETS.json > /dev/null

@@ -3,9 +3,20 @@
 //! A compact BDD kernel in the style of Bryant (1986) with the classic
 //! implementation techniques: a hash-consed unique table (canonicity ⇒
 //! equality is pointer equality), a memoized `ite` (if-then-else) core
-//! from which all Boolean connectives derive, existential/universal
-//! quantification over variable sets, and variable renaming for
-//! relational image computation.
+//! from which all Boolean connectives derive, a fused
+//! [`and_exists`](BddManager::and_exists) relational product,
+//! existential/universal quantification over variable sets, and variable
+//! renaming for relational image computation.
+//!
+//! The table layout follows the high-performance packages (CUDD, BuDDy):
+//! the unique table is open-addressed with a deterministic multiplicative
+//! hash and a capacity-doubling rehash path, and the hot operation caches
+//! (`ite`, `and_exists`) are direct-mapped arrays rather than chained
+//! maps — a lossy computed table is still sound (a miss only recomputes)
+//! and probes in a couple of cache lines. Cache effectiveness is
+//! observable through [`BddManager::cache_hits`] /
+//! [`BddManager::cache_lookups`]; [`BddManager::peak_nodes`] tracks the
+//! high-water mark of the node store.
 //!
 //! This crate is the symbolic kernel behind `ltlcheck`'s NuSMV-style
 //! backend: transition relations of product automata are encoded over
@@ -33,6 +44,11 @@
 //! // Quantification: ∃c. g ≡ true (pick c = 1).
 //! let ex = m.exists(g, &[2]);
 //! assert_eq!(ex, m.constant(true));
+//!
+//! // The fused relational product does both steps in one recursion.
+//! let fused = m.and_exists(f, g, &[1]);
+//! let conj = m.and(f, g);
+//! assert_eq!(fused, m.exists(conj, &[1]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +67,8 @@ const TRUE: Ref = Ref(1);
 /// Sentinel variable index for terminal nodes (orders after every real
 /// variable).
 const TERMINAL_VAR: u32 = u32::MAX;
+/// Empty slot marker in the open-addressed unique table.
+const EMPTY: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Node {
@@ -59,6 +77,79 @@ struct Node {
     hi: Ref,
 }
 
+/// Deterministic multiplicative mix (fibonacci hashing over a 3-word
+/// key). All hashing in the manager goes through this, so node counts
+/// and cache statistics are identical run to run — the differential and
+/// perf gates compare them exactly.
+#[inline]
+fn mix3(a: u32, b: u32, c: u32) -> u64 {
+    let mut h = (u64::from(a) << 32 | u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    h = h.wrapping_add(u64::from(c).wrapping_mul(0xFF51_AFD7_ED55_8CCD));
+    h ^= h >> 32;
+    h
+}
+
+/// A direct-mapped operation cache (CUDD's "computed table"): one slot
+/// per hash bucket, collisions overwrite. Lossy but sound — the result
+/// of a miss is recomputed, never wrong.
+#[derive(Debug)]
+struct OpCache {
+    /// `(a, b, c, result)`; `a == EMPTY` marks a free slot.
+    slots: Vec<(u32, u32, u32, Ref)>,
+    mask: usize,
+}
+
+impl OpCache {
+    fn new(capacity_pow2: usize) -> Self {
+        OpCache {
+            slots: vec![(EMPTY, 0, 0, FALSE); capacity_pow2],
+            mask: capacity_pow2 - 1,
+        }
+    }
+
+    #[inline]
+    fn get(&self, a: u32, b: u32, c: u32) -> Option<Ref> {
+        let slot = self.slots[(mix3(a, b, c) as usize) & self.mask];
+        if slot.0 == a && slot.1 == b && slot.2 == c {
+            Some(slot.3)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, a: u32, b: u32, c: u32, r: Ref) {
+        let idx = (mix3(a, b, c) as usize) & self.mask;
+        self.slots[idx] = (a, b, c, r);
+    }
+
+    /// Doubles the cache, rehashing the surviving entries into their new
+    /// buckets (entries are worth keeping — they are a pure speedup).
+    fn grow(&mut self) {
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![(EMPTY, 0, 0, FALSE); (self.mask + 1) * 2],
+        );
+        self.mask = self.slots.len() - 1;
+        for (a, b, c, r) in old {
+            if a != EMPTY {
+                let idx = (mix3(a, b, c) as usize) & self.mask;
+                self.slots[idx] = (a, b, c, r);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Initial size of the direct-mapped operation caches.
+const OP_CACHE_INIT: usize = 1 << 12;
+/// Initial size of the open-addressed unique table.
+const UNIQUE_INIT: usize = 1 << 12;
+
 /// A BDD manager: owns the node store and all caches.
 ///
 /// Variables are indexed `0..num_vars` and ordered by index (lower index
@@ -66,11 +157,24 @@ struct Node {
 #[derive(Debug)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Ref>,
-    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
-    quant_cache: HashMap<(Ref, u64), Ref>,
+    /// Open-addressed unique table over `nodes`: slots hold node indices,
+    /// `EMPTY` marks a free slot. Linear probing; doubled and rehashed
+    /// when 3/4 full.
+    unique: Vec<u32>,
+    unique_mask: usize,
+    ite_cache: OpCache,
+    and_exists_cache: OpCache,
+    quant_cache: HashMap<(Ref, u32), Ref>,
     rename_cache: HashMap<(Ref, i64), Ref>,
+    /// Interned quantification variable sets: `var_sets[id]` is a sorted,
+    /// deduplicated set. Set identity (not a hash of it) keys the
+    /// quantification caches, so distinct sets can never collide.
+    var_sets: Vec<Vec<u32>>,
+    var_set_ids: HashMap<Vec<u32>, u32>,
     num_vars: u32,
+    cache_lookups: u64,
+    cache_hits: u64,
+    rehashes: u64,
 }
 
 impl BddManager {
@@ -82,14 +186,22 @@ impl BddManager {
     pub fn new(num_vars: u32) -> Self {
         assert!(num_vars < (1 << 31), "too many variables");
         let mut manager = BddManager {
-            nodes: Vec::new(),
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            nodes: Vec::with_capacity(UNIQUE_INIT / 2),
+            unique: vec![EMPTY; UNIQUE_INIT],
+            unique_mask: UNIQUE_INIT - 1,
+            ite_cache: OpCache::new(OP_CACHE_INIT),
+            and_exists_cache: OpCache::new(OP_CACHE_INIT),
             quant_cache: HashMap::new(),
             rename_cache: HashMap::new(),
+            var_sets: Vec::new(),
+            var_set_ids: HashMap::new(),
             num_vars,
+            cache_lookups: 0,
+            cache_hits: 0,
+            rehashes: 0,
         };
-        // Index 0 = false terminal, 1 = true terminal.
+        // Index 0 = false terminal, 1 = true terminal. Terminals are not
+        // hashed into the unique table; `mk` never constructs them.
         manager.nodes.push(Node {
             var: TERMINAL_VAR,
             lo: FALSE,
@@ -111,6 +223,30 @@ impl BddManager {
     /// Number of live nodes (including the two terminals).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// High-water mark of the node store. The manager never reclaims
+    /// nodes, so this currently equals [`num_nodes`](Self::num_nodes);
+    /// it is exposed separately so callers report peak memory pressure
+    /// rather than an end-of-run residue if garbage collection is ever
+    /// added.
+    pub fn peak_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total probes of the hot operation caches (`ite`, `and_exists`).
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_lookups
+    }
+
+    /// Probes of the hot operation caches that found their result.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Times the unique table doubled its capacity and rehashed.
+    pub fn unique_rehashes(&self) -> u64 {
+        self.rehashes
     }
 
     /// The constant function.
@@ -142,18 +278,78 @@ impl BddManager {
         self.mk(i, TRUE, FALSE)
     }
 
+    /// The conjunction of literals `lits`, given in strictly increasing
+    /// variable order (`true` = positive literal). Builds the cube
+    /// bottom-up with `len` direct node constructions — no `ite` calls,
+    /// no intermediate conjunctions — which is what makes per-state
+    /// encodings of transition relations cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variables are out of range or not strictly increasing.
+    pub fn cube(&mut self, lits: &[(u32, bool)]) -> Ref {
+        let mut acc = TRUE;
+        let mut prev = u32::MAX;
+        for &(v, polarity) in lits.iter().rev() {
+            assert!(v < self.num_vars, "variable {v} out of range");
+            assert!(v < prev, "cube literals must be strictly increasing");
+            prev = v;
+            acc = if polarity {
+                self.mk(v, FALSE, acc)
+            } else {
+                self.mk(v, acc, FALSE)
+            };
+        }
+        acc
+    }
+
     fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
         if lo == hi {
             return lo;
         }
-        let node = Node { var, lo, hi };
-        if let Some(&r) = self.unique.get(&node) {
-            return r;
+        let mut idx = (mix3(var, lo.0, hi.0) as usize) & self.unique_mask;
+        loop {
+            let slot = self.unique[idx];
+            if slot == EMPTY {
+                break;
+            }
+            let n = self.nodes[slot as usize];
+            if n.var == var && n.lo == lo && n.hi == hi {
+                return Ref(slot);
+            }
+            idx = (idx + 1) & self.unique_mask;
         }
         let r = Ref(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, r);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique[idx] = r.0;
+        // Keep the load factor under 3/4; count the two unhashed
+        // terminals out.
+        if (self.nodes.len() - 2) * 4 > (self.unique_mask + 1) * 3 {
+            self.rehash();
+        }
+        // Keep the direct-mapped caches proportioned to the node store so
+        // big relations don't thrash a tiny computed table.
+        if self.nodes.len() > self.ite_cache.len() {
+            self.ite_cache.grow();
+            self.and_exists_cache.grow();
+        }
         r
+    }
+
+    /// Doubles the unique table and re-inserts every node — the
+    /// capacity-doubling rehash path.
+    fn rehash(&mut self) {
+        let new_cap = (self.unique_mask + 1) * 2;
+        self.unique = vec![EMPTY; new_cap];
+        self.unique_mask = new_cap - 1;
+        self.rehashes += 1;
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            let mut idx = (mix3(n.var, n.lo.0, n.hi.0) as usize) & self.unique_mask;
+            while self.unique[idx] != EMPTY {
+                idx = (idx + 1) & self.unique_mask;
+            }
+            self.unique[idx] = i as u32;
+        }
     }
 
     fn node(&self, r: Ref) -> Node {
@@ -191,7 +387,9 @@ impl BddManager {
         if g == TRUE && h == FALSE {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        self.cache_lookups += 1;
+        if let Some(r) = self.ite_cache.get(f.0, g.0, h.0) {
+            self.cache_hits += 1;
             return r;
         }
         let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
@@ -201,7 +399,7 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert((f, g, h), r);
+        self.ite_cache.put(f.0, g.0, h.0, r);
         r
     }
 
@@ -237,22 +435,59 @@ impl BddManager {
         self.ite(f, g, ng)
     }
 
-    /// Conjunction over an iterator (`true` when empty).
+    /// Conjunction over an iterator (`true` when empty). Combines
+    /// pairwise in a balanced tree, which keeps intermediate BDDs small
+    /// when many similarly-sized operands are folded (a left fold makes
+    /// one operand grow monotonically).
     pub fn and_all(&mut self, parts: impl IntoIterator<Item = Ref>) -> Ref {
-        let mut acc = TRUE;
-        for p in parts {
-            acc = self.and(acc, p);
-        }
-        acc
+        let layer: Vec<Ref> = parts.into_iter().collect();
+        self.balanced(layer, TRUE, Self::and)
     }
 
-    /// Disjunction over an iterator (`false` when empty).
+    /// Disjunction over an iterator (`false` when empty), combined as a
+    /// balanced tree like [`and_all`](Self::and_all).
     pub fn or_all(&mut self, parts: impl IntoIterator<Item = Ref>) -> Ref {
-        let mut acc = FALSE;
-        for p in parts {
-            acc = self.or(acc, p);
+        let layer: Vec<Ref> = parts.into_iter().collect();
+        self.balanced(layer, FALSE, Self::or)
+    }
+
+    fn balanced(
+        &mut self,
+        mut layer: Vec<Ref>,
+        empty: Ref,
+        op: impl Fn(&mut Self, Ref, Ref) -> Ref,
+    ) -> Ref {
+        if layer.is_empty() {
+            return empty;
         }
-        acc
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                next.push(if chunk.len() == 2 {
+                    op(self, chunk[0], chunk[1])
+                } else {
+                    chunk[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Interns a quantification variable set, returning its stable id.
+    /// Ids key the quantification caches exactly (no hash collisions
+    /// between distinct sets) and stay valid for the manager's lifetime.
+    fn intern_vars(&mut self, vars: &[u32]) -> u32 {
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&id) = self.var_set_ids.get(&sorted) {
+            return id;
+        }
+        let id = self.var_sets.len() as u32;
+        self.var_sets.push(sorted.clone());
+        self.var_set_ids.insert(sorted, id);
+        id
     }
 
     /// Existential quantification `∃ vars. f`.
@@ -264,37 +499,98 @@ impl BddManager {
         for &v in vars {
             assert!(v < self.num_vars, "variable {v} out of range");
         }
-        let mask = Self::var_mask(vars);
-        self.exists_inner(f, vars, mask)
+        let set_id = self.intern_vars(vars);
+        let set = std::mem::take(&mut self.var_sets[set_id as usize]);
+        let r = self.exists_inner(f, &set, set_id);
+        self.var_sets[set_id as usize] = set;
+        r
     }
 
-    fn var_mask(vars: &[u32]) -> u64 {
-        // Hash key for the quantified set; exact for ≤64 variables, a
-        // partitioned fold otherwise (cache key only, never semantics).
-        vars.iter().fold(0u64, |m, &v| {
-            m ^ (1u64.rotate_left(v % 63) ^ (u64::from(v) << 32))
-        })
-    }
-
-    fn exists_inner(&mut self, f: Ref, vars: &[u32], mask: u64) -> Ref {
+    fn exists_inner(&mut self, f: Ref, vars: &[u32], set_id: u32) -> Ref {
         if f == TRUE || f == FALSE {
             return f;
         }
-        if let Some(&r) = self.quant_cache.get(&(f, mask)) {
+        let n = self.node(f);
+        // Variables are ordered; once the root is past the whole set the
+        // function cannot depend on any quantified variable.
+        if vars.last().is_none_or(|&max| n.var > max) {
+            return f;
+        }
+        if let Some(&r) = self.quant_cache.get(&(f, set_id)) {
             return r;
         }
-        let n = self.node(f);
-        // Variables are ordered: skip quantified variables above the root.
-        let r = if vars.contains(&n.var) {
-            let lo = self.exists_inner(n.lo, vars, mask);
-            let hi = self.exists_inner(n.hi, vars, mask);
-            self.or(lo, hi)
+        let r = if vars.binary_search(&n.var).is_ok() {
+            let lo = self.exists_inner(n.lo, vars, set_id);
+            if lo == TRUE {
+                TRUE
+            } else {
+                let hi = self.exists_inner(n.hi, vars, set_id);
+                self.or(lo, hi)
+            }
         } else {
-            let lo = self.exists_inner(n.lo, vars, mask);
-            let hi = self.exists_inner(n.hi, vars, mask);
+            let lo = self.exists_inner(n.lo, vars, set_id);
+            let hi = self.exists_inner(n.hi, vars, set_id);
             self.mk(n.var, lo, hi)
         };
-        self.quant_cache.insert((f, mask), r);
+        self.quant_cache.insert((f, set_id), r);
+        r
+    }
+
+    /// The fused relational product `∃ vars. f ∧ g` in a single
+    /// recursion with its own memo cache — the workhorse of symbolic
+    /// image/pre-image computation. Equivalent to
+    /// `exists(and(f, g), vars)` but never materializes the conjunction,
+    /// whose BDD is typically far larger than either operand or the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range.
+    pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[u32]) -> Ref {
+        for &v in vars {
+            assert!(v < self.num_vars, "variable {v} out of range");
+        }
+        let set_id = self.intern_vars(vars);
+        let set = std::mem::take(&mut self.var_sets[set_id as usize]);
+        let r = self.and_exists_inner(f, g, &set, set_id);
+        self.var_sets[set_id as usize] = set;
+        r
+    }
+
+    fn and_exists_inner(&mut self, f: Ref, g: Ref, vars: &[u32], set_id: u32) -> Ref {
+        if f == FALSE || g == FALSE {
+            return FALSE;
+        }
+        if f == TRUE {
+            return self.exists_inner(g, vars, set_id);
+        }
+        if g == TRUE || f == g {
+            return self.exists_inner(f, vars, set_id);
+        }
+        // ∧ is commutative: normalize the operand order for the cache.
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        self.cache_lookups += 1;
+        if let Some(r) = self.and_exists_cache.get(f.0, g.0, set_id) {
+            self.cache_hits += 1;
+            return r;
+        }
+        let v = self.var_of(f).min(self.var_of(g));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let r = if vars.binary_search(&v).is_ok() {
+            let lo = self.and_exists_inner(f0, g0, vars, set_id);
+            if lo == TRUE {
+                TRUE
+            } else {
+                let hi = self.and_exists_inner(f1, g1, vars, set_id);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_inner(f0, g0, vars, set_id);
+            let hi = self.and_exists_inner(f1, g1, vars, set_id);
+            self.mk(v, lo, hi)
+        };
+        self.and_exists_cache.put(f.0, g.0, set_id, r);
         r
     }
 
@@ -307,7 +603,8 @@ impl BddManager {
 
     /// Renames every variable `v` to `v + offset` (negative offsets shift
     /// down). Used to move between current-state and next-state variable
-    /// blocks in transition relations.
+    /// blocks in transition relations — offset `1` for interleaved
+    /// current/next pairs, the block width for blocked layouts.
     ///
     /// # Panics
     ///
@@ -382,7 +679,14 @@ impl BddManager {
         Some(assignment)
     }
 
-    /// Number of satisfying assignments over all `num_vars` variables.
+    /// Number of satisfying assignments over all `num_vars` variables,
+    /// **saturating at `u64::MAX`**.
+    ///
+    /// Counts are accumulated in `f64`, so they are exact below `2^53`
+    /// assignments; beyond that the mantissa rounds, and at `2^64` and
+    /// above the result clamps to `u64::MAX`. A saturated return value
+    /// therefore means "at least `u64::MAX`", never a silent wrap — wide
+    /// state spaces (≥ 64 variables) routinely exceed the range.
     pub fn sat_count(&self, f: Ref) -> u64 {
         fn count(m: &BddManager, f: Ref, memo: &mut HashMap<Ref, f64>) -> f64 {
             if f == FALSE {
@@ -405,7 +709,14 @@ impl BddManager {
         }
         let mut memo = HashMap::new();
         let root_gap = f64::from(self.var_of(f).min(self.num_vars));
-        (count(self, f, &mut memo) * root_gap.exp2()) as u64
+        let total = count(self, f, &mut memo) * root_gap.exp2();
+        // Explicit saturation: 2^64 (the first unrepresentable count) and
+        // everything above clamp to u64::MAX.
+        if total >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            total as u64
+        }
     }
 }
 
@@ -479,7 +790,9 @@ mod tests {
         let (a, c) = (m.var(0), m.var(2));
         let na = m.not(a);
         let f = m.and(na, c);
-        let w = m.any_sat(f).expect("satisfiable");
+        let Some(w) = m.any_sat(f) else {
+            panic!("expected a witness")
+        };
         assert!(m.eval(f, &w));
         let fals = m.constant(false);
         assert!(m.any_sat(fals).is_none());
@@ -495,6 +808,113 @@ mod tests {
         assert_eq!(m.sat_count(f), 6);
         assert_eq!(m.sat_count(m.constant(true)), 8);
         assert_eq!(m.sat_count(m.constant(false)), 0);
+    }
+
+    /// The saturation boundary: 63 variables still count exactly
+    /// (`2^63` is a representable power of two), 64 and 65 saturate to
+    /// `u64::MAX` instead of wrapping or rounding arbitrarily.
+    #[test]
+    fn sat_count_saturates_at_the_boundary() {
+        let m63 = BddManager::new(63);
+        assert_eq!(m63.sat_count(m63.constant(true)), 1u64 << 63);
+        let m64 = BddManager::new(64);
+        assert_eq!(m64.sat_count(m64.constant(true)), u64::MAX);
+        let m65 = BddManager::new(65);
+        assert_eq!(m65.sat_count(m65.constant(true)), u64::MAX);
+        // Just below the clamp: half the 64-var space is exactly 2^63,
+        // which is representable and must NOT be clamped.
+        let mut m = BddManager::new(64);
+        let a = m.var(0);
+        assert_eq!(m.sat_count(a), 1u64 << 63);
+    }
+
+    #[test]
+    fn cube_is_the_literal_conjunction() {
+        let mut m = BddManager::new(5);
+        let c = m.cube(&[(0, true), (2, false), (4, true)]);
+        let a = m.var(0);
+        let nb = m.nvar(2);
+        let e = m.var(4);
+        let ab = m.and(a, nb);
+        let expected = m.and(ab, e);
+        assert_eq!(c, expected);
+        assert_eq!(m.cube(&[]), m.constant(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn cube_rejects_unsorted_literals() {
+        let mut m = BddManager::new(3);
+        let _ = m.cube(&[(2, true), (0, false)]);
+    }
+
+    #[test]
+    fn balanced_folds_match_semantics() {
+        let mut m = BddManager::new(6);
+        let vars: Vec<Ref> = (0..6).map(|i| m.var(i)).collect();
+        let all = m.and_all(vars.iter().copied());
+        let any = m.or_all(vars.iter().copied());
+        // Equal to the sequential folds by canonicity.
+        let mut acc = m.constant(true);
+        for &v in &vars {
+            acc = m.and(acc, v);
+        }
+        assert_eq!(all, acc);
+        let mut acc = m.constant(false);
+        for &v in &vars {
+            acc = m.or(acc, v);
+        }
+        assert_eq!(any, acc);
+        assert_eq!(m.and_all([]), m.constant(true));
+        assert_eq!(m.or_all([]), m.constant(false));
+    }
+
+    #[test]
+    fn cache_and_table_statistics_populate() {
+        let mut m = BddManager::new(16);
+        // Force enough distinct nodes to trigger at least one rehash of
+        // the initial table.
+        let mut funcs = Vec::new();
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                if i != j {
+                    let a = m.var(i);
+                    let b = m.var(j);
+                    let x = m.xor(a, b);
+                    funcs.push(x);
+                }
+            }
+        }
+        let _ = m.or_all(funcs);
+        assert!(m.cache_lookups() > 0);
+        assert!(m.cache_hits() > 0);
+        assert!(m.cache_hits() <= m.cache_lookups());
+        assert_eq!(m.peak_nodes(), m.num_nodes());
+        assert!(m.num_nodes() > 2);
+    }
+
+    #[test]
+    fn unique_table_rehash_preserves_canonicity() {
+        let mut m = BddManager::new(20);
+        let mut seen = HashMap::new();
+        // Build well past the initial capacity, recording refs.
+        for round in 0..2 {
+            for i in 0..20u32 {
+                for j in 0..20u32 {
+                    let a = m.var(i);
+                    let b = m.var(j);
+                    let f = m.and(a, b);
+                    let x = m.xor(f, a);
+                    if round == 0 {
+                        seen.insert((i, j), x);
+                    } else {
+                        // Same structure ⇒ same node, across rehashes.
+                        assert_eq!(seen[&(i, j)], x);
+                    }
+                }
+            }
+        }
+        assert!(m.unique_rehashes() > 0 || m.num_nodes() < UNIQUE_INIT);
     }
 
     /// A tiny propositional formula AST for differential testing.
@@ -594,6 +1014,26 @@ mod tests {
                 })
                 .count() as u64;
             prop_assert_eq!(m.sat_count(f), expected);
+        }
+
+        /// The fused relational product equals the two-step composition
+        /// `∃V. f∧g  ≡  exists(and(f, g), V)` for every quantified
+        /// subset of the variables (canonicity makes this `Ref`
+        /// equality).
+        #[test]
+        fn and_exists_matches_two_step(
+            f in arb_form(5),
+            g in arb_form(5),
+            mask in 0u32..32,
+        ) {
+            let mut m = BddManager::new(5);
+            let f = build(&mut m, &f);
+            let g = build(&mut m, &g);
+            let vars: Vec<u32> = (0..5).filter(|i| mask & (1 << i) != 0).collect();
+            let fused = m.and_exists(f, g, &vars);
+            let conj = m.and(f, g);
+            let two_step = m.exists(conj, &vars);
+            prop_assert_eq!(fused, two_step);
         }
     }
 }

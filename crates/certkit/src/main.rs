@@ -9,11 +9,17 @@
 //! 2. **Randomized differential + certification** — seeded random
 //!    graphs and formulas (mirroring the proptest generators) are run
 //!    through both backends and through certificate validation.
+//! 3. **Scaled-model differential** — the backends are compared on
+//!    scaled-up world models (`drivesim::scaled`, the warehouse grid
+//!    corridor) under a wall-clock budget: the first scaled case always
+//!    runs to completion, further cases run while budget remains. This
+//!    is the regime the partitioned symbolic encoding (DESIGN.md §14)
+//!    is built for, so it is exactly where a divergence would hide.
 //!
 //! Any backend disagreement is minimized and dumped as a JSON repro
 //! file (`certkit-repro-*.json`) before exiting.
 //!
-//! Usage: `certkit [--random N] [--seed S]`
+//! Usage: `certkit [--random N] [--seed S] [--scaled-budget-ms MS]`
 
 // ALLOW: a CI gate terminates on the first inconsistency; panicking accessors
 // are the point here, not a liability.
@@ -29,6 +35,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut random_cases: usize = 200;
     let mut seed: u64 = 0x00C0_FFEE;
+    let mut scaled_budget = std::time::Duration::from_millis(20_000);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,8 +51,17 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed takes a u64");
             }
+            "--scaled-budget-ms" => {
+                scaled_budget = std::time::Duration::from_millis(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scaled-budget-ms takes milliseconds"),
+                );
+            }
             other => {
-                eprintln!("usage: certkit [--random N] [--seed S] (got `{other}`)");
+                eprintln!(
+                    "usage: certkit [--random N] [--seed S] [--scaled-budget-ms MS] (got `{other}`)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -111,6 +127,38 @@ fn main() -> ExitCode {
     }
     if repros == 0 && cert_failures == 0 {
         println!("certkit: ok: {random_cases} random cases, backends agree, all certified");
+    }
+
+    // --- suite 3: scaled-model differential under a time budget ----------
+    println!(
+        "certkit: scaled-model differential (budget {} ms)...",
+        scaled_budget.as_millis()
+    );
+    let started = std::time::Instant::now();
+    let mut scaled_checks = 0usize;
+    for (i, case) in scaled_cases().iter().enumerate() {
+        // The first scaled case always runs to completion; later cases
+        // only start while budget remains.
+        if i > 0 && started.elapsed() > scaled_budget {
+            println!("certkit: scaled budget reached after {i} case(s)");
+            break;
+        }
+        for spec in &case.specs {
+            scaled_checks += 1;
+            if let Some(dis) = differential(&case.graph, &spec.formula, &case.justice) {
+                let name = format!("{} × {}", case.name, spec.name);
+                report_disagreement(&name, &dis, &case.justice, &mut repros);
+            }
+        }
+    }
+    if repros == 0 {
+        println!(
+            "certkit: ok: {scaled_checks} scaled checks in {:.1?}, backends agree",
+            started.elapsed()
+        );
+    }
+
+    if repros == 0 && cert_failures == 0 {
         println!("certkit: gate passed");
         ExitCode::SUCCESS
     } else {
@@ -148,6 +196,60 @@ fn verdict_word(holds: bool) -> &'static str {
     } else {
         "fails"
     }
+}
+
+/// One scaled differential case: a product label graph, the specs to
+/// check, and the justice assumptions in force.
+struct ScaledCase {
+    name: String,
+    graph: LabelGraph,
+    specs: Vec<ltlcheck::specs::Spec>,
+    justice: Vec<Justice>,
+}
+
+/// The scaled cases, cheapest first: a 64-label conservative traffic
+/// world (twice the A6 benchmark's label space) and a 6-aisle warehouse
+/// corridor, each verified against its domain rule book.
+fn scaled_cases() -> Vec<ScaledCase> {
+    use autokit::{DeadlockPolicy, Product};
+    let mut cases = Vec::new();
+
+    let d = autokit::presets::DrivingDomain::new();
+    let lex = glm2fsa::Lexicon::driving(&d);
+    let ctrl = glm2fsa::synthesize(
+        "turn right",
+        &["If no car from the left and no pedestrian at your right, turn right."],
+        &lex,
+        glm2fsa::FsaOptions::default(),
+    )
+    .expect("canonical steps align");
+    let ctrl = glm2fsa::with_default_action(&ctrl, d.stop);
+    let model = drivesim::scaled::scaled_conservative_model(&d, 64);
+    cases.push(ScaledCase {
+        name: "driving/conservative-64".to_owned(),
+        graph: Product::build(&model, &ctrl).label_graph(DeadlockPolicy::Stutter),
+        specs: ltlcheck::specs::driving_specs(&d),
+        justice: Vec::new(),
+    });
+
+    let w = warehouse::WarehouseDomain::new();
+    let (task_name, steps) = speclint::presets::WAREHOUSE_STEPS[2];
+    let options = glm2fsa::FsaOptions {
+        non_blocking: ActSet::singleton(w.wait),
+        ..glm2fsa::FsaOptions::default()
+    };
+    let ctrl = glm2fsa::synthesize(task_name, steps, &w.lexicon, options)
+        .expect("canonical warehouse steps align");
+    let ctrl = glm2fsa::with_default_action(&ctrl, w.wait);
+    let model = w.scaled_floor_model(6);
+    cases.push(ScaledCase {
+        name: "warehouse/corridor-6".to_owned(),
+        graph: Product::build(&model, &ctrl).label_graph(DeadlockPolicy::Stutter),
+        specs: warehouse::warehouse_specs(&w),
+        justice: warehouse::warehouse_justice(&w),
+    });
+
+    cases
 }
 
 /// The gate's random-case vocabulary: two propositions and one action,

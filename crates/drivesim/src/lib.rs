@@ -47,6 +47,8 @@
 #![warn(missing_docs)]
 
 pub mod formal;
+pub mod scaled;
+
 mod incident;
 mod route;
 mod scenario;

@@ -1,0 +1,153 @@
+//! Scaled-up conservative world models for backend benchmarking.
+//!
+//! The paper's scenario models top out at a few dozen states — small
+//! enough that the explicit checker wins on constant factors (ablation
+//! A6). These builders parameterize the "conservative perspective"
+//! (Algorithm 1 without pruning, every transition allowed) by the number
+//! of distinct environment labels, producing traffic worlds 10–100×
+//! larger whose products stress both verification backends and expose
+//! the explicit-vs-symbolic crossover (`backend_compare --sweep`).
+//!
+//! The label set is nested: `scaled_conservative_model(d, 32)` is
+//! exactly the A6 dense model (all masks over its five propositions),
+//! and larger budgets extend the same enumeration over the rest of the
+//! driving vocabulary, so every sweep point is a superset of the last.
+
+use autokit::presets::DrivingDomain;
+use autokit::{PropSet, WorldModel, WorldModelBuilder};
+
+/// The fixed proposition order scaling enumerates over. The first five
+/// match the A6 dense-model benchmark bit-for-bit; the remainder extend
+/// the environment with the rest of the driving vocabulary.
+fn scaling_props(d: &DrivingDomain) -> [autokit::PropId; 10] {
+    [
+        d.green_tl,
+        d.car_left,
+        d.opposite_car,
+        d.ped_right,
+        d.ped_front,
+        d.car_right,
+        d.ped_left,
+        d.stop_sign,
+        d.green_ll,
+        d.flashing_ll,
+    ]
+}
+
+/// The first `labels` environment labels of the nested enumeration.
+///
+/// # Panics
+///
+/// Panics if `labels` exceeds the `2^10` distinct labels the driving
+/// vocabulary supports.
+pub fn scaled_labels(d: &DrivingDomain, labels: usize) -> Vec<PropSet> {
+    let props = scaling_props(d);
+    assert!(
+        labels <= 1 << props.len(),
+        "at most {} distinct labels",
+        1usize << props.len()
+    );
+    (0..labels as u32)
+        .map(|mask| {
+            let mut l = PropSet::empty();
+            for (i, &p) in props.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    l.insert(p);
+                }
+            }
+            l
+        })
+        .collect()
+}
+
+/// A conservative (fully connected, unpruned) traffic world over the
+/// first `labels` environment labels. `labels = 32` reproduces the A6
+/// dense model exactly; the product's label graph grows quadratically in
+/// `labels`, which is what makes the sweep's crossover visible.
+pub fn scaled_conservative_model(d: &DrivingDomain, labels: usize) -> WorldModel {
+    WorldModelBuilder::new(&d.vocab)
+        .name(format!("conservative traffic ({labels} labels)"))
+        .restrict_labels(scaled_labels(d, labels))
+        .allow_transitions(|_, _| true)
+        .conservative()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // ALLOW: test-only panics are the assertion mechanism.
+    use super::*;
+
+    #[test]
+    fn labels_are_nested_and_distinct() {
+        let d = DrivingDomain::new();
+        let small = scaled_labels(&d, 32);
+        let big = scaled_labels(&d, 128);
+        assert_eq!(&big[..32], &small[..]);
+        let mut dedup = big.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), big.len());
+    }
+
+    #[test]
+    fn thirty_two_labels_match_the_a6_dense_model() {
+        // The A6 benchmark enumerates all masks over these five props;
+        // the nested enumeration must reproduce that set exactly.
+        let d = DrivingDomain::new();
+        let a6_props = [
+            d.green_tl,
+            d.car_left,
+            d.opposite_car,
+            d.ped_right,
+            d.ped_front,
+        ];
+        let a6: Vec<PropSet> = (0..32u32)
+            .map(|mask| {
+                let mut l = PropSet::empty();
+                for (i, &p) in a6_props.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        l.insert(p);
+                    }
+                }
+                l
+            })
+            .collect();
+        assert_eq!(scaled_labels(&d, 32), a6);
+    }
+
+    #[test]
+    fn model_is_conservative_and_total() {
+        let d = DrivingDomain::new();
+        let m = scaled_conservative_model(&d, 48);
+        assert_eq!(m.num_states(), 48);
+        for s in m.states() {
+            assert_eq!(m.successors(s).len(), 48);
+        }
+    }
+
+    /// Both verification backends agree on a scaled model one step past
+    /// the A6 size (a superset of its label space).
+    #[test]
+    fn backends_agree_on_a_scaled_model() {
+        let d = DrivingDomain::new();
+        let lex = glm2fsa::Lexicon::driving(&d);
+        let ctrl = glm2fsa::synthesize(
+            "turn right",
+            &["If no car from the left and no pedestrian at your right, turn right."],
+            &lex,
+            glm2fsa::FsaOptions::default(),
+        )
+        .unwrap();
+        let ctrl = glm2fsa::with_default_action(&ctrl, d.stop);
+        let model = scaled_conservative_model(&d, 40);
+        let graph =
+            autokit::Product::build(&model, &ctrl).label_graph(autokit::DeadlockPolicy::Stutter);
+        for spec in ltlcheck::specs::driving_specs(&d).iter().take(4) {
+            let explicit = ltlcheck::check_graph_fair(&graph, &spec.formula, &[]).holds();
+            let symbolic =
+                ltlcheck::symbolic::check_graph_fair_symbolic(&graph, &spec.formula, &[]);
+            assert_eq!(explicit, symbolic, "{}", spec.name);
+        }
+    }
+}

@@ -229,6 +229,57 @@ impl WarehouseDomain {
         model
     }
 
+    /// A scaled warehouse floor: `aisles` copies of the 16-label floor
+    /// laid out as a grid corridor. Within an aisle the floor evolves as
+    /// in [`floor_model`](Self::floor_model) (labels toggle one
+    /// proposition at a time); the robot can also move to the same
+    /// situation in an adjacent aisle. State count grows linearly in
+    /// `aisles` with sparse, structured transitions — the grid-world
+    /// counterpart to `drivesim`'s dense scaled traffic models in the
+    /// `backend_compare --sweep` benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aisles` is zero.
+    pub fn scaled_floor_model(&self, aisles: usize) -> WorldModel {
+        assert!(aisles > 0, "at least one aisle");
+        let props = [self.human, self.obstacle, self.shelf, self.battery_low];
+        let labels: Vec<PropSet> = (0..(1u32 << props.len()))
+            .map(|mask| {
+                let mut l = PropSet::empty();
+                for (i, &p) in props.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        l.insert(p);
+                    }
+                }
+                l
+            })
+            .collect();
+        let per = labels.len();
+        let mut model = WorldModel::new(format!("warehouse floor ({aisles} aisles)"));
+        let mut states = Vec::with_capacity(aisles * per);
+        for _ in 0..aisles {
+            for &l in &labels {
+                states.push(model.add_state(l));
+            }
+        }
+        for aisle in 0..aisles {
+            for (i, &li) in labels.iter().enumerate() {
+                for (j, &lj) in labels.iter().enumerate() {
+                    if (li.bits() ^ lj.bits()).count_ones() <= 1 {
+                        model.add_transition(states[aisle * per + i], states[aisle * per + j]);
+                    }
+                }
+                // Corridor moves: same situation, adjacent aisle.
+                if aisle + 1 < aisles {
+                    model.add_transition(states[aisle * per + i], states[(aisle + 1) * per + i]);
+                    model.add_transition(states[(aisle + 1) * per + i], states[aisle * per + i]);
+                }
+            }
+        }
+        model
+    }
+
     // `choose` on a non-empty const slice cannot return `None`.
     #[allow(clippy::expect_used)] // ALLOW: choose on a non-empty const slice cannot fail.
     fn prop_phrase<'a>(&self, p: PropId, rng: &mut impl Rng) -> &'a str {
@@ -413,6 +464,51 @@ mod tests {
         assert!(
             glm2fsa::synthesize("t", &steps, &d.lexicon, glm2fsa::FsaOptions::default()).is_err()
         );
+    }
+
+    #[test]
+    fn scaled_floor_is_a_grid_of_floors() {
+        let d = WarehouseDomain::new();
+        let base = d.floor_model();
+        let one = d.scaled_floor_model(1);
+        // One aisle is exactly the base floor.
+        assert_eq!(one.num_states(), base.num_states());
+        assert_eq!(one.num_transitions(), base.num_transitions());
+        // k aisles: k floors plus 2·16 corridor moves per seam.
+        let four = d.scaled_floor_model(4);
+        assert_eq!(four.num_states(), 4 * base.num_states());
+        assert_eq!(
+            four.num_transitions(),
+            4 * base.num_transitions() + 3 * 2 * base.num_states()
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_a_scaled_floor() {
+        use crate::feedback::{warehouse_justice, warehouse_specs};
+        let d = WarehouseDomain::new();
+        let model = d.scaled_floor_model(3);
+        let task = &d.tasks[2]; // patrol the aisle
+        let mut rng = StdRng::seed_from_u64(3);
+        let text = d.render(task, WarehouseStyle::Careful, &mut rng);
+        let steps: Vec<&str> = text.trim_end_matches('.').split(';').collect();
+        let ctrl = glm2fsa::synthesize(
+            &task.prompt,
+            &steps,
+            &d.lexicon,
+            glm2fsa::FsaOptions::default(),
+        )
+        .unwrap();
+        let ctrl = glm2fsa::with_default_action(&ctrl, d.wait);
+        let graph =
+            autokit::Product::build(&model, &ctrl).label_graph(autokit::DeadlockPolicy::Stutter);
+        let justice = warehouse_justice(&d);
+        for spec in warehouse_specs(&d) {
+            let explicit = ltlcheck::check_graph_fair(&graph, &spec.formula, &justice).holds();
+            let symbolic =
+                ltlcheck::symbolic::check_graph_fair_symbolic(&graph, &spec.formula, &justice);
+            assert_eq!(explicit, symbolic, "{}", spec.name);
+        }
     }
 
     #[test]
